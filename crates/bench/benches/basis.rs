@@ -1,0 +1,45 @@
+//! Criterion bench: serial (Alg. 1) vs batched (Alg. 2) basis
+//! computation, and fused vs unfused basis kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::{compute_basis, ModelConfig, OptLevel};
+use fc_crystal::{DatasetConfig, GraphBatch, SynthMPtrj};
+use fc_tensor::Tape;
+
+fn bench_basis(c: &mut Criterion) {
+    let data = SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 16,
+        max_atoms: 10,
+        ..Default::default()
+    });
+    let graphs: Vec<_> = data.samples.iter().map(|s| &s.graph).collect();
+    let batch = GraphBatch::collate(&graphs, None);
+
+    let mut group = c.benchmark_group("basis");
+    for level in [OptLevel::Reference, OptLevel::ParallelBasis, OptLevel::Fusion] {
+        let cfg = ModelConfig {
+            fea: 16,
+            n_rbf: 16,
+            n_harmonics: 8,
+            n_blocks: 2,
+            ..ModelConfig::with_level(level)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &cfg, |b, cfg| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let out = compute_basis(&tape, &batch, cfg, false);
+                let v = tape.value(out.rbf);
+                tape.reset();
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_basis
+}
+criterion_main!(benches);

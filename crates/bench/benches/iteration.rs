@@ -1,0 +1,50 @@
+//! Criterion bench: one full training iteration (forward + loss +
+//! backward + Adam) per optimization level — the timing axis of Fig. 8(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::{Chgnet, ModelConfig, OptLevel};
+use fc_crystal::{DatasetConfig, GraphBatch, SynthMPtrj};
+use fc_tensor::{ParamStore, Tape};
+use fc_train::{composite_loss, Adam, LossWeights};
+
+fn bench_iteration(c: &mut Criterion) {
+    let data = SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 8,
+        max_atoms: 8,
+        ..Default::default()
+    });
+    let graphs: Vec<_> = data.samples.iter().map(|s| &s.graph).collect();
+    let labels: Vec<_> = data.samples.iter().map(|s| &s.labels).collect();
+    let batch = GraphBatch::collate(&graphs, Some(&labels));
+    let bl = batch.labels.clone().unwrap();
+
+    let mut group = c.benchmark_group("train-iteration");
+    for level in OptLevel::LADDER {
+        let cfg = ModelConfig::tiny(level);
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &cfg, |b, cfg| {
+            let mut store = ParamStore::new();
+            let model = Chgnet::new(*cfg, &mut store, 1);
+            let mut opt = Adam::new(&store, 1e-4);
+            let w = LossWeights::default();
+            b.iter(|| {
+                let tape = Tape::new();
+                let pred = model.forward(&tape, &store, &batch);
+                let loss = composite_loss(&tape, &pred, &bl, &w);
+                store.zero_grads();
+                let gm = tape.backward(loss.total);
+                store.accumulate_grads(&tape, &gm);
+                opt.step(&mut store);
+                store.zero_grads();
+                tape.reset();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_iteration
+}
+criterion_main!(benches);

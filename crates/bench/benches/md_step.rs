@@ -1,0 +1,29 @@
+//! Criterion bench: one-step MD inference time (Table II) — reference
+//! CHGNet vs FastCHGNet calculators on the LiMnO2-like cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::{Chgnet, ModelConfig, OptLevel};
+use fc_crystal::known;
+use fc_md::Calculator;
+use fc_tensor::ParamStore;
+
+fn bench_md_step(c: &mut Criterion) {
+    let structure = known::limno2();
+    let mut group = c.benchmark_group("md-step-limno2");
+    for (name, level) in [("chgnet", OptLevel::Reference), ("fastchgnet", OptLevel::Decoupled)] {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(level), &mut store, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &structure, |b, s| {
+            let calc = Calculator::new(&model, &store);
+            b.iter(|| calc.evaluate(s).energy);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_md_step
+}
+criterion_main!(benches);

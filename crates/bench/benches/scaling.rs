@@ -1,0 +1,58 @@
+//! Criterion bench: ring all-reduce throughput and the cluster
+//! train-step across device counts (the mechanics behind Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fc_core::{ModelConfig, OptLevel};
+use fc_crystal::{DatasetConfig, Sample, SynthMPtrj};
+use fc_train::{ring_all_reduce, Cluster, ClusterConfig, SamplerKind};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring-allreduce");
+    for p in [2usize, 4, 8] {
+        let n = 100_000usize;
+        group.throughput(Throughput::Bytes((n * p * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let template: Vec<Vec<f32>> =
+                (0..p).map(|d| (0..n).map(|i| (d * i) as f32).collect()).collect();
+            b.iter(|| {
+                let mut bufs = template.clone();
+                ring_all_reduce(&mut bufs);
+                bufs[0][0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_step(c: &mut Criterion) {
+    let data = SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 16,
+        max_atoms: 8,
+        ..Default::default()
+    });
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let mut group = c.benchmark_group("cluster-train-step");
+    for devices in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &d| {
+            let mut cluster = Cluster::new(
+                ModelConfig::tiny(OptLevel::Decoupled),
+                1,
+                ClusterConfig {
+                    n_devices: d,
+                    sampler: SamplerKind::LoadBalance,
+                    ..Default::default()
+                },
+                1e-4,
+            );
+            b.iter(|| cluster.train_step(&samples).loss);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce, bench_cluster_step
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 7: parity plots (predicted vs DFT) with R² for energy and force,
+//! CHGNet vs FastCHGNet.
+//!
+//! Run: `cargo run --release -p fastchgnet-bench --bin fig7`
+
+use fc_bench::{render_table, reports_dir, Scale};
+use fc_core::ModelVariant;
+use fc_train::{evaluate_with_scatter, train_model, write_report, LrPolicy, TrainConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 7 reproduction: parity plots (scale: {}) ==\n", scale.label);
+    let data = scale.dataset();
+    let test = data.test_samples();
+
+    let mut rows = Vec::new();
+    let mut tsv = String::from("model\tproperty\tdft\tpredicted\n");
+    for variant in [ModelVariant::Reference, ModelVariant::FastHead] {
+        println!("training {} ...", variant.label());
+        let cfg = TrainConfig {
+            model: scale.model(variant.opt_level()),
+            seed: 7,
+            epochs: scale.epochs,
+            global_batch: scale.global_batch,
+            lr: LrPolicy::Fixed(scale.base_lr),
+            ..Default::default()
+        };
+        let (cluster, _) = train_model(&data, &cfg);
+        let (metrics, scatter) =
+            evaluate_with_scatter(&cluster.model, &cluster.store, &test, 8);
+        println!("  -> {}", metrics.summary());
+        rows.push(vec![
+            variant.label().to_string(),
+            format!("{:.4}", metrics.e_r2),
+            format!("{:.4}", metrics.f_r2),
+            scatter.energy.len().to_string(),
+            scatter.force.len().to_string(),
+        ]);
+        for (d, p) in &scatter.energy {
+            tsv.push_str(&format!("{}\tenergy\t{d:.6}\t{p:.6}\n", variant.label()));
+        }
+        // Subsample forces to keep the report readable.
+        for (i, (d, p)) in scatter.force.iter().enumerate() {
+            if i % 7 == 0 {
+                tsv.push_str(&format!("{}\tforce\t{d:.6}\t{p:.6}\n", variant.label()));
+            }
+        }
+    }
+
+    println!(
+        "\n{}",
+        render_table(&["model", "R²(energy)", "R²(force)", "E points", "F points"], &rows)
+    );
+    println!("(paper: FastCHGNet has higher energy R², lower force R² than CHGNet)");
+    let path = reports_dir().join("fig7.tsv");
+    write_report(&path, &tsv).expect("write report");
+    println!("parity data written to {}", path.display());
+}

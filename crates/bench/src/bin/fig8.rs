@@ -1,0 +1,128 @@
+//! Fig. 8: single-GPU step-by-step system optimization — (a) average
+//! iteration time, (b) launched kernels, (c) peak memory — across batch
+//! sizes, for the cumulative optimization ladder
+//! reference → +parallel basis → +fusion/redundancy → +decoupling.
+//!
+//! Kernels = tape nodes executed (forward + backward); memory = peak live
+//! tape bytes, including the retained first-order gradient graph of the
+//! derivative-based levels (see DESIGN.md §2.2).
+//!
+//! Run: `cargo run --release -p fastchgnet-bench --bin fig8`
+
+use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_core::{Chgnet, OptLevel};
+use fc_crystal::{GraphBatch, Sample};
+use fc_tensor::{ParamStore, Tape};
+use fc_train::{composite_loss, write_report, Adam, LossWeights};
+use std::time::Instant;
+
+struct Measurement {
+    time_s: f64,
+    kernels: u64,
+    peak_bytes: u64,
+}
+
+fn measure(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Scale) -> Measurement {
+    let mut store = ParamStore::new();
+    let model = Chgnet::new(scale.model(level), &mut store, 3);
+    let mut opt = Adam::new(&store, 1e-3);
+    let w = LossWeights::default();
+    let graphs: Vec<_> = samples.iter().map(|s| &s.graph).collect();
+    let labels: Vec<_> = samples.iter().map(|s| &s.labels).collect();
+    let batch = GraphBatch::collate(&graphs, Some(&labels));
+    let bl = batch.labels.as_ref().unwrap();
+
+    let mut time_acc = 0.0;
+    let mut kernels = 0u64;
+    let mut peak = 0u64;
+    for i in 0..=iters {
+        let tape = Tape::new();
+        let t0 = Instant::now();
+        let pred = model.forward(&tape, &store, &batch);
+        let loss = composite_loss(&tape, &pred, bl, &w);
+        store.zero_grads();
+        let gm = tape.backward(loss.total);
+        store.accumulate_grads(&tape, &gm);
+        opt.step(&mut store);
+        store.zero_grads();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let snap = tape.profiler().snapshot();
+        tape.reset();
+        if i == 0 {
+            continue; // warm-up iteration
+        }
+        time_acc += elapsed;
+        kernels = snap.kernels; // identical every iteration
+        peak = snap.bytes_peak;
+    }
+    Measurement { time_s: time_acc / iters as f64, kernels, peak_bytes: peak }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 8 reproduction: step-by-step optimization (scale: {}) ==\n", scale.label);
+    let data = scale.dataset();
+    let batch_sizes: &[usize] =
+        if scale.label == "full" { &[16, 32, 64] } else { &[8, 16] };
+
+    let mut rows = Vec::new();
+    let mut tsv =
+        String::from("batch\tlevel\titer_time_s\tkernels\tpeak_mem_MB\tspeedup_vs_ref\tkernel_ratio\tmem_ratio\n");
+    for &bs in batch_sizes {
+        let samples: Vec<&Sample> = data.samples.iter().take(bs).collect();
+        let mut base: Option<Measurement> = None;
+        for level in OptLevel::LADDER {
+            println!("measuring batch {bs}, {} ...", level.label());
+            let m = measure(level, &samples, scale.timing_iters, &scale);
+            let (speedup, kratio, mratio) = match &base {
+                Some(b) => (
+                    b.time_s / m.time_s,
+                    b.kernels as f64 / m.kernels as f64,
+                    b.peak_bytes as f64 / m.peak_bytes as f64,
+                ),
+                None => (1.0, 1.0, 1.0),
+            };
+            rows.push(vec![
+                bs.to_string(),
+                level.label().to_string(),
+                fmt_secs(m.time_s),
+                m.kernels.to_string(),
+                format!("{:.2}", m.peak_bytes as f64 / 1e6),
+                format!("{speedup:.2}x"),
+                format!("{kratio:.2}x"),
+                format!("{mratio:.2}x"),
+            ]);
+            tsv.push_str(&format!(
+                "{bs}\t{}\t{:.6}\t{}\t{:.3}\t{speedup:.3}\t{kratio:.3}\t{mratio:.3}\n",
+                level.label(),
+                m.time_s,
+                m.kernels,
+                m.peak_bytes as f64 / 1e6
+            ));
+            if base.is_none() {
+                base = Some(m);
+            }
+        }
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "batch",
+                "optimization",
+                "iter time",
+                "kernels",
+                "peak MB",
+                "time vs ref",
+                "kernels vs ref",
+                "mem vs ref"
+            ],
+            &rows
+        )
+    );
+    println!("(paper: 4.43-5.62x total time, 12.72-20.16x kernels, 3.59x memory)");
+    let path = reports_dir().join("fig8.tsv");
+    write_report(&path, &tsv).expect("write report");
+    println!("report written to {}", path.display());
+}

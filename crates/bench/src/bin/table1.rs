@@ -1,0 +1,87 @@
+//! Table I: test-set MAE of CHGNet vs FastCHGNet (w/o head and F/S head).
+//!
+//! Trains the three Table-I model variants on the SynthMPtrj dataset with
+//! the paper's loss prefactors and LR policy, then reports E/F/S/M MAE and
+//! parameter counts next to the paper's published values.
+//!
+//! Run: `cargo run --release -p fastchgnet-bench --bin table1`
+//! (`FASTCHGNET_SCALE=full` for the larger setting).
+
+use fc_bench::{render_table, reports_dir, Scale};
+use fc_core::ModelVariant;
+use fc_train::{train_model, write_report, LrPolicy, TrainConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table I reproduction (scale: {}) ==\n", scale.label);
+    let data = scale.dataset();
+    println!(
+        "dataset: {} samples (train {} / val {} / test {})\n",
+        data.samples.len(),
+        data.train.len(),
+        data.val.len(),
+        data.test.len()
+    );
+
+    // Paper values for the comparison columns.
+    let paper: [(&str, &str, f64, f64, f64, f64); 3] = [
+        ("CHGNet v0.3.0", "412.5K", 29.0, 68.0, 0.314, 37.0),
+        ("FastCHGNet w/o head", "411.2K", 26.0, 62.0, 0.270, 35.0),
+        ("FastCHGNet F/S head", "429.1K", 16.0, 73.0, 0.479, 36.0),
+    ];
+
+    let variants =
+        [ModelVariant::Reference, ModelVariant::FastNoHead, ModelVariant::FastHead];
+    let mut rows = Vec::new();
+    let mut tsv = String::from(
+        "model\tparams\te_mae_meV_atom\tf_mae_meV_A\ts_mae_GPa\tm_mae_mmuB\tsim_hours\n",
+    );
+    for (variant, paper_row) in variants.iter().zip(&paper) {
+        println!("training {} ...", variant.label());
+        let cfg = TrainConfig {
+            model: scale.model(variant.opt_level()),
+            seed: 7,
+            epochs: scale.epochs,
+            global_batch: scale.global_batch,
+            lr: LrPolicy::Fixed(scale.base_lr),
+            ..Default::default()
+        };
+        let (_, report) = train_model(&data, &cfg);
+        let m = report.test;
+        println!(
+            "  -> {} | params {} | sim time {:.2} s",
+            m.summary(),
+            report.n_params,
+            report.sim_time_total
+        );
+        rows.push(vec![
+            variant.label().to_string(),
+            format!("{:.1}K", report.n_params as f64 / 1e3),
+            format!("{:.1} (paper {:.0})", m.e_mae * 1e3, paper_row.2),
+            format!("{:.1} (paper {:.0})", m.f_mae * 1e3, paper_row.3),
+            format!("{:.3} (paper {:.3})", m.s_mae, paper_row.4),
+            format!("{:.1} (paper {:.0})", m.m_mae * 1e3, paper_row.5),
+        ]);
+        tsv.push_str(&format!(
+            "{}\t{}\t{:.3}\t{:.3}\t{:.4}\t{:.3}\t{:.6}\n",
+            variant.label(),
+            report.n_params,
+            m.e_mae * 1e3,
+            m.f_mae * 1e3,
+            m.s_mae,
+            m.m_mae * 1e3,
+            report.sim_time_total / 3600.0
+        ));
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &["model", "params", "E (meV/atom)", "F (meV/Å)", "S (GPa)", "M (mμ_B)"],
+            &rows
+        )
+    );
+    let path = reports_dir().join("table1.tsv");
+    write_report(&path, &tsv).expect("write report");
+    println!("report written to {}", path.display());
+}

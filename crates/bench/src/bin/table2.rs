@@ -1,0 +1,69 @@
+//! Table II: one-step molecular-dynamics time of CHGNet vs FastCHGNet on
+//! LiMnO2, LiTiPO5 and Li9Co7O16.
+//!
+//! Run: `cargo run --release -p fastchgnet-bench --bin table2`
+
+use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_core::{Chgnet, OptLevel};
+use fc_crystal::{known, CrystalGraph, Structure};
+use fc_md::{time_md_step, Calculator};
+use fc_tensor::ParamStore;
+use fc_train::write_report;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table II reproduction (scale: {}) ==\n", scale.label);
+
+    let systems: [(&str, Structure, f64, f64, f64); 3] = [
+        ("LiMnO2", known::limno2(), 0.022, 0.0077, 2.86),
+        ("LiTiPO5", known::litipo5(), 0.021, 0.0076, 2.63),
+        ("Li9Co7O16", known::li9co7o16(), 0.023, 0.0077, 3.03),
+    ];
+
+    // Reference CHGNet vs FastCHGNet (decoupled heads).
+    let mut ref_store = ParamStore::new();
+    let ref_model = Chgnet::new(scale.model(OptLevel::Reference), &mut ref_store, 11);
+    let mut fast_store = ParamStore::new();
+    let fast_model = Chgnet::new(scale.model(OptLevel::Decoupled), &mut fast_store, 11);
+    let ref_calc = Calculator::new(&ref_model, &ref_store);
+    let fast_calc = Calculator::new(&fast_model, &fast_store);
+
+    let mut rows = Vec::new();
+    let mut tsv =
+        String::from("crystal\tatoms\tbonds\tangles\tchgnet_s\tfastchgnet_s\tspeedup\tpaper_speedup\n");
+    for (name, structure, paper_ref, paper_fast, paper_speedup) in systems {
+        let graph = CrystalGraph::new(structure.clone());
+        let (na, nb, nang) = (graph.n_atoms(), graph.n_bonds(), graph.n_angles());
+        println!("timing {name} (atoms {na}, bonds {nb}, angles {nang}) ...");
+        let t_ref = time_md_step(&ref_calc, &structure, scale.timing_iters);
+        let t_fast = time_md_step(&fast_calc, &structure, scale.timing_iters);
+        let speedup = t_ref / t_fast;
+        rows.push(vec![
+            name.to_string(),
+            na.to_string(),
+            nb.to_string(),
+            nang.to_string(),
+            fmt_secs(t_ref),
+            fmt_secs(t_fast),
+            format!("{speedup:.2}x (paper {paper_speedup:.2}x)"),
+        ]);
+        tsv.push_str(&format!(
+            "{name}\t{na}\t{nb}\t{nang}\t{t_ref:.6}\t{t_fast:.6}\t{speedup:.3}\t{paper_speedup}\n"
+        ));
+        let _ = (paper_ref, paper_fast);
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &["crystal", "atoms", "bonds", "angles", "CHGNet", "FastCHGNet", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "(paper: CHGNet 0.021-0.023 s, FastCHGNet 0.0076-0.0077 s per MD step on A100)"
+    );
+    let path = reports_dir().join("table2.tsv");
+    write_report(&path, &tsv).expect("write report");
+    println!("report written to {}", path.display());
+}

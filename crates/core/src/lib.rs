@@ -1,0 +1,51 @@
+//! # fc_core — CHGNet and FastCHGNet models
+//!
+//! The paper's primary contribution, implemented on the `fc_tensor`
+//! autodiff engine:
+//!
+//! * the reference CHGNet v0.3.0 architecture (atom/bond/angle message
+//!   passing with GatedMLPs; forces and stress from energy derivatives),
+//! * FastCHGNet's model innovations: Force/Stress head decomposition
+//!   (§III-B, with rotation equivariance verified by property test) and
+//!   dependency elimination (Eq. 11),
+//! * FastCHGNet's system optimizations at the kernel level: batched basis
+//!   computation (Alg. 2), fused sRBF/Fourier, GatedMLP branch packing,
+//!   embedding-linear packing and gather reuse,
+//! * the cumulative [`OptLevel`] ladder that the Fig. 8 benchmarks sweep.
+//!
+//! ```
+//! use fc_core::{Chgnet, ModelConfig, OptLevel};
+//! use fc_crystal::{CrystalGraph, Element, GraphBatch, Lattice, Structure};
+//! use fc_tensor::{ParamStore, Tape};
+//!
+//! let s = Structure::new(
+//!     Lattice::cubic(3.4),
+//!     vec![Element::new(3), Element::new(8)],
+//!     vec![[0.0; 3], [0.5, 0.5, 0.5]],
+//! );
+//! let graph = CrystalGraph::new(s);
+//! let batch = GraphBatch::collate(&[&graph], None);
+//! let mut store = ParamStore::new();
+//! let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 42);
+//! let tape = Tape::new();
+//! let pred = model.forward(&tape, &store, &batch);
+//! assert!(tape.value(pred.energy).all_finite());
+//! ```
+
+pub mod atom_ref;
+pub mod basis;
+pub mod config;
+pub mod embedding;
+pub mod heads;
+pub mod interaction;
+pub mod model;
+pub mod nn;
+
+pub use atom_ref::AtomRef;
+pub use basis::{compute_basis, BasisOut, Geometry};
+pub use config::{ModelConfig, ModelVariant, OptLevel};
+pub use embedding::{BondFeatures, Embeddings};
+pub use heads::{derivative_outputs, EnergyHead, ForceHead, MagmomHead, StressHead};
+pub use interaction::InteractionBlock;
+pub use model::{Chgnet, Prediction};
+pub use nn::{GatedMlp, LayerNorm, Linear, Mlp};

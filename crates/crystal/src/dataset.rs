@@ -1,0 +1,407 @@
+//! SynthMPtrj: the synthetic stand-in for the Materials Project Trajectory
+//! dataset.
+//!
+//! MPtrj holds 1,580,395 DFT-labelled inorganic structures over 89
+//! elements, with a long-tail distribution of cell sizes (Fig. 5 of the
+//! paper). This generator reproduces the *shape* of that workload from a
+//! seed: log-normal atom counts, element frequencies skewed toward common
+//! oxide chemistry, perturbed-cubic lattices with chemically plausible
+//! densities, and trajectory-style perturbed frames — all labelled by the
+//! analytic oracle (`crate::oracle`).
+
+use crate::element::{Element, N_ELEMENTS};
+use crate::graph::CrystalGraph;
+use crate::lattice::Lattice;
+use crate::oracle::{evaluate, Labels};
+use crate::structure::Structure;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// One labelled training sample.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// The crystal graph (structure + connectivity).
+    pub graph: CrystalGraph,
+    /// Oracle labels.
+    pub labels: Labels,
+}
+
+impl Sample {
+    /// Build a sample from a structure: construct the graph with default
+    /// cutoffs and evaluate the oracle.
+    pub fn from_structure(s: Structure) -> Sample {
+        let labels = evaluate(&s);
+        Sample { graph: CrystalGraph::new(s), labels }
+    }
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct DatasetConfig {
+    /// Number of base structures to generate.
+    pub n_structures: usize,
+    /// Trajectory frames per base structure (≥ 1). Frames after the first
+    /// carry increasing random displacements, mimicking relaxation
+    /// trajectories.
+    pub frames: usize,
+    /// RNG seed; the dataset is a pure function of the config.
+    pub seed: u64,
+    /// Minimum atoms per cell.
+    pub min_atoms: usize,
+    /// Maximum atoms per cell (truncates the long tail).
+    pub max_atoms: usize,
+    /// Mean of ln(atom count) for the log-normal size distribution.
+    pub log_mean: f64,
+    /// Std of ln(atom count).
+    pub log_std: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            n_structures: 256,
+            frames: 1,
+            seed: 20250704,
+            min_atoms: 2,
+            max_atoms: 48,
+            log_mean: 2.3, // e^2.3 ≈ 10 atoms
+            log_std: 0.75,
+        }
+    }
+}
+
+/// The synthetic dataset with train/val/test splits.
+#[derive(Clone, Debug)]
+pub struct SynthMPtrj {
+    /// All samples, in generation order.
+    pub samples: Vec<Sample>,
+    /// Indices of the training split (90%).
+    pub train: Vec<usize>,
+    /// Indices of the validation split (5%).
+    pub val: Vec<usize>,
+    /// Indices of the test split (5%).
+    pub test: Vec<usize>,
+}
+
+impl SynthMPtrj {
+    /// Generate the dataset from a config. Structure generation and oracle
+    /// labelling parallelise across rayon workers.
+    pub fn generate(cfg: &DatasetConfig) -> SynthMPtrj {
+        assert!(cfg.n_structures > 0 && cfg.frames > 0, "empty dataset config");
+        let samples: Vec<Sample> = (0..cfg.n_structures)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37));
+                let base = sane_random_structure(&mut rng, cfg);
+                (0..cfg.frames)
+                    .map(|f| {
+                        let mut s = base.clone();
+                        if f > 0 {
+                            let amp = 0.03 * f as f64;
+                            let disp: Vec<[f64; 3]> = (0..s.n_atoms())
+                                .map(|_| {
+                                    [
+                                        rng.gen_range(-amp..amp),
+                                        rng.gen_range(-amp..amp),
+                                        rng.gen_range(-amp..amp),
+                                    ]
+                                })
+                                .collect();
+                            s.displace_cart(&disp);
+                        }
+                        Sample::from_structure(s)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Deterministic shuffled split 0.9 : 0.05 : 0.05 (paper §IV).
+        let n = samples.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let n_test = (n as f64 * 0.05).ceil() as usize;
+        let n_val = n_test;
+        let test = order[..n_test].to_vec();
+        let val = order[n_test..n_test + n_val].to_vec();
+        let train = order[n_test + n_val..].to_vec();
+        SynthMPtrj { samples, train, val, test }
+    }
+
+    /// Samples of the training split.
+    pub fn train_samples(&self) -> Vec<&Sample> {
+        self.train.iter().map(|&i| &self.samples[i]).collect()
+    }
+
+    /// Samples of the validation split.
+    pub fn val_samples(&self) -> Vec<&Sample> {
+        self.val.iter().map(|&i| &self.samples[i]).collect()
+    }
+
+    /// Samples of the test split.
+    pub fn test_samples(&self) -> Vec<&Sample> {
+        self.test.iter().map(|&i| &self.samples[i]).collect()
+    }
+}
+
+/// Element sampling weights: common MPtrj chemistry (O, Li, transition
+/// metals, P, Si, ...) is strongly over-represented, the rest of the 89
+/// elements form the tail.
+fn element_weights() -> [f32; N_ELEMENTS] {
+    let mut w = [1.0f32; N_ELEMENTS];
+    let boosts: [(u8, f32); 20] = [
+        (8, 30.0),  // O
+        (3, 15.0),  // Li
+        (26, 8.0),  // Fe
+        (25, 6.0),  // Mn
+        (15, 6.0),  // P
+        (14, 6.0),  // Si
+        (1, 6.0),   // H
+        (12, 5.0),  // Mg
+        (11, 5.0),  // Na
+        (16, 5.0),  // S
+        (27, 4.0),  // Co
+        (28, 4.0),  // Ni
+        (22, 4.0),  // Ti
+        (9, 4.0),   // F
+        (7, 4.0),   // N
+        (20, 4.0),  // Ca
+        (13, 4.0),  // Al
+        (29, 3.0),  // Cu
+        (19, 3.0),  // K
+        (23, 3.0),  // V
+    ];
+    for (z, b) in boosts {
+        w[z as usize - 1] = b;
+    }
+    w
+}
+
+/// Sample one element from the weighted distribution.
+fn sample_element(rng: &mut StdRng, weights: &[f32; N_ELEMENTS]) -> Element {
+    let total: f32 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return Element::new(i as u8 + 1);
+        }
+        x -= w;
+    }
+    Element::new(N_ELEMENTS as u8)
+}
+
+/// Log-normal atom count, truncated to the configured range.
+fn sample_n_atoms(rng: &mut StdRng, cfg: &DatasetConfig) -> usize {
+    // Box-Muller normal.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let n = (cfg.log_mean + cfg.log_std * z).exp().round() as i64;
+    (n.max(cfg.min_atoms as i64) as usize).min(cfg.max_atoms)
+}
+
+/// Energy-per-atom sanity bound for generated structures (eV/atom). The
+/// oracle's Morse wall makes near-contact geometries arbitrarily
+/// repulsive; MPtrj-style relaxation frames live in a moderate band, so
+/// we reject pathological cells (the rejection rate is low).
+const MAX_ABS_E_PER_ATOM: f64 = 25.0;
+
+/// Generate one random crystal whose geometry is chemically sane: atom
+/// pairs respect a fraction of their equilibrium distance and the oracle
+/// energy per atom stays within [`MAX_ABS_E_PER_ATOM`]. Retries with a
+/// progressively larger cell; deterministic given the RNG state.
+pub fn sane_random_structure(rng: &mut StdRng, cfg: &DatasetConfig) -> Structure {
+    let mut volume_boost = 1.0;
+    let mut last = None;
+    for _attempt in 0..8 {
+        let s = random_structure_with_boost(rng, cfg, volume_boost);
+        let ok_sep = min_separation_ratio(&s) > 0.8;
+        let ok_energy =
+            crate::oracle::evaluate(&s).energy_per_atom_abs() < MAX_ABS_E_PER_ATOM;
+        if ok_sep && ok_energy {
+            return s;
+        }
+        last = Some(s);
+        volume_boost *= 1.35;
+    }
+    last.expect("at least one candidate generated")
+}
+
+/// Smallest pairwise `distance / (r0_i + r0_j)` over all pairs (∞ for a
+/// single atom whose images are beyond range).
+fn min_separation_ratio(s: &Structure) -> f64 {
+    let mut worst = f64::INFINITY;
+    for i in 0..s.n_atoms() {
+        for j in i..s.n_atoms() {
+            // Self-pairs probe the nearest periodic image.
+            let d = if i == j {
+                // Shortest lattice vector bound.
+                let m = s.lattice.m;
+                (0..3)
+                    .map(|k| (m[k][0].powi(2) + m[k][1].powi(2) + m[k][2].powi(2)).sqrt())
+                    .fold(f64::INFINITY, f64::min)
+            } else {
+                s.min_image_distance(i, j)
+            };
+            let r0 = (s.species[i].oracle_params().r0 + s.species[j].oracle_params().r0) as f64;
+            worst = worst.min(d / r0.max(0.1));
+        }
+    }
+    worst
+}
+
+/// Generate one random crystal: weighted species on a jittered grid inside
+/// a sheared cubic cell with a chemically plausible volume per atom.
+pub fn random_structure(rng: &mut StdRng, cfg: &DatasetConfig) -> Structure {
+    random_structure_with_boost(rng, cfg, 1.0)
+}
+
+fn random_structure_with_boost(rng: &mut StdRng, cfg: &DatasetConfig, volume_boost: f64) -> Structure {
+    let weights = element_weights();
+    let n_atoms = sample_n_atoms(rng, cfg);
+
+    // 1-4 distinct species per structure, then per-site assignment.
+    let n_species = rng.gen_range(1..=4usize.min(n_atoms));
+    let palette: Vec<Element> = (0..n_species).map(|_| sample_element(rng, &weights)).collect();
+    let species: Vec<Element> =
+        (0..n_atoms).map(|_| palette[rng.gen_range(0..n_species)]).collect();
+
+    // Volume per atom scaled by the average equilibrium radius (grown by
+    // the caller's boost when a previous candidate was too dense).
+    let avg_r: f64 =
+        species.iter().map(|e| e.oracle_params().r0 as f64).sum::<f64>() / n_atoms as f64;
+    let v_per_atom = 11.0 * avg_r.powi(3).max(1.0) * rng.gen_range(1.2..2.2) * volume_boost;
+    let a = (n_atoms as f64 * v_per_atom).cbrt();
+
+    // Perturbed cubic lattice: up to ±6% shear/stretch.
+    let mut m = [[0.0f64; 3]; 3];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = if i == j {
+                a * rng.gen_range(0.94..1.06)
+            } else {
+                a * rng.gen_range(-0.06..0.06)
+            };
+        }
+    }
+    let lattice = Lattice::new(m[0], m[1], m[2]);
+
+    // Jittered grid placement guarantees a minimum separation.
+    let grid = (n_atoms as f64).cbrt().ceil() as usize;
+    let mut cells: Vec<[usize; 3]> = Vec::with_capacity(grid * grid * grid);
+    for x in 0..grid {
+        for y in 0..grid {
+            for z in 0..grid {
+                cells.push([x, y, z]);
+            }
+        }
+    }
+    // Random subset of grid cells.
+    for i in (1..cells.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cells.swap(i, j);
+    }
+    let spacing = 1.0 / grid as f64;
+    let jitter = 0.25 * spacing;
+    let frac: Vec<[f64; 3]> = cells[..n_atoms]
+        .iter()
+        .map(|c| {
+            [
+                (c[0] as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                (c[1] as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                (c[2] as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+            ]
+        })
+        .collect();
+
+    Structure::new(lattice, species, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig { n_structures: 40, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = SynthMPtrj::generate(&small_cfg());
+        let b = SynthMPtrj::generate(&small_cfg());
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.graph.structure, y.graph.structure);
+            assert_eq!(x.labels.energy, y.labels.energy);
+        }
+    }
+
+    #[test]
+    fn split_ratios() {
+        let d = SynthMPtrj::generate(&small_cfg());
+        let n = d.samples.len();
+        assert_eq!(d.train.len() + d.val.len() + d.test.len(), n);
+        assert_eq!(d.test.len(), (n as f64 * 0.05).ceil() as usize);
+        assert_eq!(d.val.len(), d.test.len());
+        // No overlap.
+        let mut all: Vec<usize> =
+            d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn sizes_within_bounds_and_long_tail() {
+        let cfg = DatasetConfig { n_structures: 150, ..Default::default() };
+        let d = SynthMPtrj::generate(&cfg);
+        let sizes: Vec<usize> = d.samples.iter().map(|s| s.graph.n_atoms()).collect();
+        assert!(sizes.iter().all(|&n| n >= cfg.min_atoms && n <= cfg.max_atoms));
+        // Long tail: the mean exceeds the median.
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean > median * 0.95, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn atoms_not_overlapping() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let s = random_structure(&mut rng, &small_cfg());
+            for i in 0..s.n_atoms() {
+                for j in (i + 1)..s.n_atoms() {
+                    let d = s.min_image_distance(i, j);
+                    assert!(d > 0.5, "atoms {i},{j} at distance {d} in {}", s.formula());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_are_perturbed_copies() {
+        let cfg = DatasetConfig { n_structures: 5, frames: 3, ..Default::default() };
+        let d = SynthMPtrj::generate(&cfg);
+        assert_eq!(d.samples.len(), 15);
+        // Frames of the same base share formula but differ in coordinates.
+        let s0 = &d.samples[0].graph.structure;
+        let s1 = &d.samples[1].graph.structure;
+        assert_eq!(s0.formula(), s1.formula());
+        assert_ne!(s0.frac_coords, s1.frac_coords);
+    }
+
+    #[test]
+    fn labels_are_finite() {
+        let d = SynthMPtrj::generate(&small_cfg());
+        for s in &d.samples {
+            assert!(s.labels.energy.is_finite());
+            assert!(s.labels.forces.iter().flatten().all(|f| f.is_finite()));
+            assert!(s.labels.magmoms.iter().all(|m| m.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Structure I/O in the VASP POSCAR format (the lingua franca of the
+//! materials-simulation ecosystem the paper's pipeline lives in).
+
+use crate::element::Element;
+use crate::lattice::Lattice;
+use crate::structure::Structure;
+
+/// Serialize a structure as a POSCAR (direct/fractional coordinates).
+pub fn to_poscar(s: &Structure, comment: &str) -> String {
+    // Group species preserving first-appearance order.
+    let mut order: Vec<Element> = Vec::new();
+    for e in &s.species {
+        if !order.contains(e) {
+            order.push(*e);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(comment.lines().next().unwrap_or("structure"));
+    out.push_str("\n1.0\n");
+    for row in &s.lattice.m {
+        out.push_str(&format!("  {:>18.12} {:>18.12} {:>18.12}\n", row[0], row[1], row[2]));
+    }
+    out.push_str(&order.iter().map(|e| e.symbol()).collect::<Vec<_>>().join(" "));
+    out.push('\n');
+    out.push_str(
+        &order
+            .iter()
+            .map(|e| s.species.iter().filter(|x| *x == e).count().to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    out.push_str("\nDirect\n");
+    for e in &order {
+        for (sp, f) in s.species.iter().zip(&s.frac_coords) {
+            if sp == e {
+                out.push_str(&format!("  {:>18.12} {:>18.12} {:>18.12}\n", f[0], f[1], f[2]));
+            }
+        }
+    }
+    out
+}
+
+/// Parse a POSCAR written by [`to_poscar`] (or any standard direct-mode
+/// POSCAR with a symbol line).
+pub fn from_poscar(text: &str) -> Result<Structure, String> {
+    let mut lines = text.lines();
+    let _comment = lines.next().ok_or("empty file")?;
+    let scale: f64 = lines
+        .next()
+        .ok_or("missing scale")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad scale: {e}"))?;
+    let mut lat = [[0.0f64; 3]; 3];
+    for row in &mut lat {
+        let line = lines.next().ok_or("missing lattice row")?;
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|e| format!("bad lattice value: {e}")))
+            .collect::<Result<_, _>>()?;
+        if vals.len() != 3 {
+            return Err("lattice row needs 3 values".into());
+        }
+        for (dst, v) in row.iter_mut().zip(vals) {
+            *dst = v * scale;
+        }
+    }
+    let symbols: Vec<&str> = lines.next().ok_or("missing symbols")?.split_whitespace().collect();
+    let counts: Vec<usize> = lines
+        .next()
+        .ok_or("missing counts")?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad count: {e}")))
+        .collect::<Result<_, _>>()?;
+    if symbols.len() != counts.len() {
+        return Err("symbol/count mismatch".into());
+    }
+    let mode = lines.next().ok_or("missing coordinate mode")?.trim().to_lowercase();
+    if !mode.starts_with('d') {
+        return Err(format!("only Direct coordinates supported, got '{mode}'"));
+    }
+    let mut species = Vec::new();
+    let mut coords = Vec::new();
+    for (sym, count) in symbols.iter().zip(&counts) {
+        let el = Element::from_symbol(sym).ok_or_else(|| format!("unknown element '{sym}'"))?;
+        for _ in 0..*count {
+            let line = lines.next().ok_or("missing coordinate line")?;
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .take(3)
+                .map(|t| t.parse().map_err(|e| format!("bad coordinate: {e}")))
+                .collect::<Result<_, _>>()?;
+            if vals.len() != 3 {
+                return Err("coordinate row needs 3 values".into());
+            }
+            species.push(el);
+            coords.push([vals[0], vals[1], vals[2]]);
+        }
+    }
+    if species.is_empty() {
+        return Err("no atoms".into());
+    }
+    Ok(Structure::new(Lattice::new(lat[0], lat[1], lat[2]), species, coords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Structure {
+        Structure::new(
+            Lattice::new([3.0, 0.1, 0.0], [0.0, 3.2, 0.0], [0.2, 0.0, 2.9]),
+            vec![Element::new(3), Element::new(8), Element::new(3)],
+            vec![[0.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.25, 0.25, 0.75]],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let text = to_poscar(&s, "test cell");
+        let back = from_poscar(&text).unwrap();
+        assert_eq!(back.n_atoms(), 3);
+        assert_eq!(back.formula(), s.formula());
+        // Species are regrouped (Li first), so compare as multisets of
+        // (element, rounded coords).
+        let key = |s: &Structure| {
+            let mut v: Vec<(u8, [i64; 3])> = s
+                .species
+                .iter()
+                .zip(&s.frac_coords)
+                .map(|(e, f)| {
+                    (e.z(), [
+                        (f[0] * 1e6).round() as i64,
+                        (f[1] * 1e6).round() as i64,
+                        (f[2] * 1e6).round() as i64,
+                    ])
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&s), key(&back));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((s.lattice.m[i][j] - back.lattice.m[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_applied() {
+        let text = "cell\n2.0\n1 0 0\n0 1 0\n0 0 1\nLi\n1\nDirect\n0 0 0\n";
+        let s = from_poscar(text).unwrap();
+        assert!((s.lattice.m[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(from_poscar("").is_err());
+        assert!(from_poscar("c\n1.0\n1 0 0\n0 1 0\n0 0 1\nXx\n1\nDirect\n0 0 0\n").is_err());
+        assert!(from_poscar("c\n1.0\n1 0 0\n0 1 0\n0 0 1\nLi\n1\nCartesian\n0 0 0\n").is_err());
+        assert!(from_poscar("c\n1.0\n1 0 0\n0 1 0\n0 0 1\nLi O\n1\nDirect\n0 0 0\n").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # fc_crystal — crystal substrate for FastCHGNet-rs
+//!
+//! Everything between raw crystal structures and the tensors the models
+//! consume: a periodic-lattice/structure representation (standing in for
+//! pymatgen/ase), exact periodic neighbor lists, CHGNet's two-level graph
+//! (atom graph `G^a` at 6 Å, bond graph `G^b` at 3 Å), batch collation, the
+//! synthetic-DFT oracle that labels structures with consistent
+//! energy/forces/stress/magmoms, and the SynthMPtrj dataset generator that
+//! reproduces the long-tail workload distribution of the paper's Fig. 5.
+
+pub mod batch;
+pub mod dataset;
+pub mod element;
+pub mod graph;
+pub mod io;
+pub mod known;
+pub mod lattice;
+pub mod neighbor;
+pub mod oracle;
+pub mod stats;
+pub mod structure;
+
+pub use batch::{BatchLabels, GraphBatch, GraphRanges};
+pub use dataset::{DatasetConfig, Sample, SynthMPtrj};
+pub use element::Element;
+pub use graph::{Angle, CrystalGraph, ATOM_CUTOFF, BOND_CUTOFF};
+pub use io::{from_poscar, to_poscar};
+pub use lattice::Lattice;
+pub use neighbor::{neighbor_list, Bond};
+pub use oracle::{evaluate, Labels, EV_PER_A3_TO_GPA, ORACLE_CUTOFF};
+pub use structure::Structure;

@@ -1,0 +1,143 @@
+//! Periodic neighbor lists.
+
+use crate::structure::Structure;
+
+/// A directed bond `i -> j` under periodic boundary conditions.
+///
+/// CHGNet's atom graph uses directed edges (the `2 N_b` in Eq. 2 of the
+/// paper); this list contains both `i -> j` and `j -> i` entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bond {
+    /// Source atom index (the "central" atom receiving the message).
+    pub i: u32,
+    /// Destination atom index.
+    pub j: u32,
+    /// Periodic image of `j` relative to the home cell.
+    pub image: [i32; 3],
+    /// Bond length |r_ij| (Å).
+    pub r: f64,
+    /// Bond vector `r_j + image@L - r_i` (Å).
+    pub vec: [f64; 3],
+}
+
+/// Build the directed neighbor list of `s` within `cutoff` (Å).
+///
+/// Exact periodic search: iterates every image cell within the lattice's
+/// [`crate::lattice::Lattice::image_ranges`]. Self-interactions in the home
+/// image are excluded; an atom may bond to its own periodic copies.
+/// Complexity O(N² · images) — ample for MPtrj-sized cells (≲ 200 atoms).
+pub fn neighbor_list(s: &Structure, cutoff: f64) -> Vec<Bond> {
+    assert!(cutoff > 0.0, "cutoff must be positive");
+    let carts = s.cart_coords();
+    let [na, nb, nc] = s.lattice.image_ranges(cutoff);
+    let cutoff2 = cutoff * cutoff;
+    let mut bonds = Vec::new();
+    for i in 0..s.n_atoms() {
+        for j in 0..s.n_atoms() {
+            for a in -na..=na {
+                for b in -nb..=nb {
+                    for c in -nc..=nc {
+                        if i == j && a == 0 && b == 0 && c == 0 {
+                            continue;
+                        }
+                        let img = s.lattice.frac_to_cart([a as f64, b as f64, c as f64]);
+                        let v = [
+                            carts[j][0] + img[0] - carts[i][0],
+                            carts[j][1] + img[1] - carts[i][1],
+                            carts[j][2] + img[2] - carts[i][2],
+                        ];
+                        let r2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+                        if r2 <= cutoff2 && r2 > 1e-12 {
+                            bonds.push(Bond {
+                                i: i as u32,
+                                j: j as u32,
+                                image: [a, b, c],
+                                r: r2.sqrt(),
+                                vec: v,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bonds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::lattice::Lattice;
+
+    fn simple_cubic(a: f64) -> Structure {
+        Structure::new(Lattice::cubic(a), vec![Element::new(3)], vec![[0.0; 3]])
+    }
+
+    #[test]
+    fn simple_cubic_coordination() {
+        // One atom, cubic a=3: 6 first neighbors at 3.0 within cutoff 3.5.
+        let s = simple_cubic(3.0);
+        let bonds = neighbor_list(&s, 3.5);
+        assert_eq!(bonds.len(), 6);
+        for b in &bonds {
+            assert!((b.r - 3.0).abs() < 1e-9);
+            assert_eq!(b.i, 0);
+            assert_eq!(b.j, 0);
+            assert_ne!(b.image, [0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn second_shell() {
+        // Within sqrt(2)*3 + eps: 6 + 12 neighbors.
+        let s = simple_cubic(3.0);
+        let bonds = neighbor_list(&s, 3.0 * 1.415);
+        assert_eq!(bonds.len(), 18);
+    }
+
+    #[test]
+    fn directed_symmetry() {
+        // Two-atom cell: every i->j bond has a j->i partner of equal length.
+        let s = Structure::new(
+            Lattice::cubic(4.0),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.0; 3], [0.4, 0.45, 0.5]],
+        );
+        let bonds = neighbor_list(&s, 4.0);
+        let ij: Vec<_> = bonds.iter().filter(|b| b.i == 0 && b.j == 1).collect();
+        let ji: Vec<_> = bonds.iter().filter(|b| b.i == 1 && b.j == 0).collect();
+        assert_eq!(ij.len(), ji.len());
+        assert!(!ij.is_empty());
+        let mut rij: Vec<f64> = ij.iter().map(|b| b.r).collect();
+        let mut rji: Vec<f64> = ji.iter().map(|b| b.r).collect();
+        rij.sort_by(f64::total_cmp);
+        rji.sort_by(f64::total_cmp);
+        for (a, b) in rij.iter().zip(&rji) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bond_vector_matches_length() {
+        let s = Structure::new(
+            Lattice::new([3.0, 0.2, 0.0], [0.0, 3.1, 0.3], [0.1, 0.0, 2.9]),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.1, 0.2, 0.3], [0.6, 0.7, 0.8]],
+        );
+        for b in neighbor_list(&s, 5.0) {
+            let n = (b.vec[0] * b.vec[0] + b.vec[1] * b.vec[1] + b.vec[2] * b.vec[2]).sqrt();
+            assert!((n - b.r).abs() < 1e-9);
+            assert!(b.r <= 5.0);
+        }
+    }
+
+    #[test]
+    fn cutoff_monotonicity() {
+        let s = simple_cubic(3.0);
+        let n1 = neighbor_list(&s, 3.2).len();
+        let n2 = neighbor_list(&s, 4.5).len();
+        let n3 = neighbor_list(&s, 6.0).len();
+        assert!(n1 < n2 && n2 < n3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dataset statistics: the histograms of Fig. 5 and the load-imbalance
+//! coefficient of variance of Fig. 9.
+
+use crate::dataset::Sample;
+
+/// A simple linear histogram over `[0, max)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Bin edges (len = bins + 1).
+    pub edges: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+    /// Values below/above the range.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Build a histogram of `values` with `bins` equal-width bins spanning
+    /// `[0, max]`.
+    pub fn build(values: &[f64], bins: usize, max: f64) -> Histogram {
+        assert!(bins > 0 && max > 0.0, "invalid histogram spec");
+        let width = max / bins as f64;
+        let edges = (0..=bins).map(|i| i as f64 * width).collect();
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0;
+        for &v in values {
+            if v < 0.0 || v >= max {
+                outliers += 1;
+            } else {
+                counts[(v / width) as usize] += 1;
+            }
+        }
+        Histogram { edges, counts, outliers }
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the modal bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Per-sample graph statistics of a dataset slice (Fig. 5's three panels).
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Atom count per sample.
+    pub atoms: Vec<f64>,
+    /// Bond count per sample.
+    pub bonds: Vec<f64>,
+    /// Angle count per sample.
+    pub angles: Vec<f64>,
+}
+
+impl GraphStats {
+    /// Collect stats over samples.
+    pub fn collect<'a>(samples: impl IntoIterator<Item = &'a Sample>) -> GraphStats {
+        let mut atoms = Vec::new();
+        let mut bonds = Vec::new();
+        let mut angles = Vec::new();
+        for s in samples {
+            atoms.push(s.graph.n_atoms() as f64);
+            bonds.push(s.graph.n_bonds() as f64);
+            angles.push(s.graph.n_angles() as f64);
+        }
+        GraphStats { atoms, bonds, angles }
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Coefficient of variance `std / mean` — the paper's load-imbalance
+/// criterion (0.186 for the default sampler, 0.064 load-balanced; Fig. 9).
+pub fn coefficient_of_variance(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m.abs() < 1e-12 {
+        0.0
+    } else {
+        std_dev(values) / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, SynthMPtrj};
+
+    #[test]
+    fn histogram_binning() {
+        let h = Histogram::build(&[0.5, 1.5, 1.7, 9.0, 10.5, -1.0], 10, 10.0);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.mode_bin(), 1);
+        assert_eq!(h.edges.len(), 11);
+    }
+
+    #[test]
+    fn cov_values() {
+        assert_eq!(coefficient_of_variance(&[5.0, 5.0, 5.0]), 0.0);
+        let cov = coefficient_of_variance(&[1.0, 3.0]);
+        assert!((cov - 0.5).abs() < 1e-12);
+        assert_eq!(coefficient_of_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn dataset_stats_long_tail() {
+        let d = SynthMPtrj::generate(&DatasetConfig { n_structures: 100, ..Default::default() });
+        let stats = GraphStats::collect(d.samples.iter());
+        assert_eq!(stats.atoms.len(), 100);
+        // Bonds and angles scale super-linearly with atoms, so their CoV
+        // exceeds the atom CoV — the long tail of Fig. 5.
+        let cov_atoms = coefficient_of_variance(&stats.atoms);
+        let cov_angles = coefficient_of_variance(&stats.angles);
+        assert!(cov_angles > cov_atoms * 0.8, "{cov_angles} vs {cov_atoms}");
+        assert!(mean(&stats.bonds) > mean(&stats.atoms));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the crystal substrate: neighbor lists, graphs
+//! and the oracle, fuzzed over random cells.
+
+use fc_crystal::{
+    evaluate, neighbor_list, CrystalGraph, Element, GraphBatch, Lattice, Structure,
+};
+use proptest::prelude::*;
+
+fn random_cell() -> impl Strategy<Value = Structure> {
+    (
+        3.0f64..5.0,            // lattice constant
+        1u8..89,                // species 1
+        1u8..89,                // species 2
+        0.3f64..0.7,            // second-site fractional offset
+        -0.05f64..0.05,         // shear
+    )
+        .prop_map(|(a, z1, z2, f, shear)| {
+            Structure::new(
+                Lattice::new([a, shear * a, 0.0], [0.0, a, shear * a], [shear * a, 0.0, a]),
+                vec![Element::new(z1), Element::new(z2)],
+                vec![[0.05, 0.02, 0.03], [f, f, f]],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn neighbor_list_is_symmetric_and_bounded(s in random_cell()) {
+        let cutoff = 5.0;
+        let bonds = neighbor_list(&s, cutoff);
+        for b in &bonds {
+            prop_assert!(b.r <= cutoff + 1e-9);
+            prop_assert!(b.r > 0.0);
+            // The reverse directed bond exists (i<->j, negated image).
+            let rev = bonds.iter().any(|o| {
+                o.i == b.j
+                    && o.j == b.i
+                    && o.image == [-b.image[0], -b.image[1], -b.image[2]]
+                    && (o.r - b.r).abs() < 1e-9
+            });
+            prop_assert!(rev, "missing reverse bond for {b:?}");
+        }
+    }
+
+    #[test]
+    fn graph_angle_indices_are_valid(s in random_cell()) {
+        let g = CrystalGraph::new(s);
+        for a in &g.angles {
+            prop_assert!((a.b_ij as usize) < g.bonds.len());
+            prop_assert!((a.b_ik as usize) < g.bonds.len());
+            prop_assert_eq!(g.bonds[a.b_ij as usize].i, g.bonds[a.b_ik as usize].i);
+            prop_assert!(a.theta.is_finite());
+        }
+    }
+
+    #[test]
+    fn oracle_is_translation_invariant(s in random_cell(), dx in -1.0f64..1.0, dy in -1.0f64..1.0) {
+        let e0 = evaluate(&s).energy;
+        let mut moved = s.clone();
+        let shift = vec![[dx, dy, 0.3]; s.n_atoms()];
+        moved.displace_cart(&shift);
+        let e1 = evaluate(&moved).energy;
+        prop_assert!((e0 - e1).abs() < 1e-7 * (1.0 + e0.abs()), "{e0} vs {e1}");
+    }
+
+    #[test]
+    fn oracle_forces_vanish_in_net(s in random_cell()) {
+        let l = evaluate(&s);
+        for k in 0..3 {
+            let net: f64 = l.forces.iter().map(|f| f[k]).sum();
+            prop_assert!(net.abs() < 1e-8, "net force {net}");
+        }
+    }
+
+    #[test]
+    fn collation_preserves_counts(s1 in random_cell(), s2 in random_cell()) {
+        let g1 = CrystalGraph::new(s1);
+        let g2 = CrystalGraph::new(s2);
+        let batch = GraphBatch::collate(&[&g1, &g2], None);
+        prop_assert_eq!(batch.n_atoms, g1.n_atoms() + g2.n_atoms());
+        prop_assert_eq!(batch.n_bonds, g1.n_bonds() + g2.n_bonds());
+        prop_assert_eq!(batch.n_angles, g1.n_angles() + g2.n_angles());
+        // All bond endpoints in range; graph ids consistent.
+        for b in 0..batch.n_bonds {
+            prop_assert!((batch.bond_i[b] as usize) < batch.n_atoms);
+            prop_assert!((batch.bond_j[b] as usize) < batch.n_atoms);
+            let gi = batch.bond_graph[b];
+            prop_assert_eq!(batch.atom_graph[batch.bond_i[b] as usize], gi);
+            prop_assert_eq!(batch.atom_graph[batch.bond_j[b] as usize], gi);
+        }
+    }
+
+    #[test]
+    fn supercell_energy_is_extensive(z in 1u8..89) {
+        // A 1-atom cell vs its 2x1x1 supercell: energy doubles exactly.
+        let a = 3.5;
+        let unit = Structure::new(
+            Lattice::cubic(a),
+            vec![Element::new(z)],
+            vec![[0.0; 3]],
+        );
+        let double = Structure::new(
+            Lattice::orthorhombic(2.0 * a, a, a),
+            vec![Element::new(z); 2],
+            vec![[0.0; 3], [0.5, 0.0, 0.0]],
+        );
+        let e1 = evaluate(&unit).energy;
+        let e2 = evaluate(&double).energy;
+        prop_assert!((2.0 * e1 - e2).abs() < 1e-6 * (1.0 + e2.abs()), "2x{e1} vs {e2}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Velocity-Verlet NVE integration and a Langevin thermostat.
+
+use fc_crystal::Structure;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Boltzmann constant in eV/K.
+pub const KB_EV: f64 = 8.617_333_262e-5;
+
+/// Conversion: (eV/Å/amu) · fs² → Å. From 1 eV = 1.602...e-19 J,
+/// 1 amu = 1.66...e-27 kg: a[Å/fs²] = F/m · 9.648533e-3.
+pub const ACC_UNIT: f64 = 9.648_533e-3;
+
+/// Per-atom dynamic state.
+#[derive(Clone, Debug)]
+pub struct MdState {
+    /// Velocities (Å/fs), one row per atom.
+    pub velocities: Vec<[f64; 3]>,
+    /// Masses (amu).
+    pub masses: Vec<f64>,
+}
+
+impl MdState {
+    /// Zero-velocity state from a structure's species masses.
+    pub fn at_rest(structure: &Structure) -> MdState {
+        MdState {
+            velocities: vec![[0.0; 3]; structure.n_atoms()],
+            masses: structure.species.iter().map(|e| e.mass() as f64).collect(),
+        }
+    }
+
+    /// Maxwell-Boltzmann initialisation at temperature `t_kelvin`, with
+    /// the centre-of-mass drift removed.
+    pub fn thermal(structure: &Structure, t_kelvin: f64, rng: &mut StdRng) -> MdState {
+        let mut st = MdState::at_rest(structure);
+        for (v, &m) in st.velocities.iter_mut().zip(&st.masses) {
+            // σ_v = sqrt(kB T / m) in Å/fs (with the unit bridge).
+            let sigma = (KB_EV * t_kelvin / m * ACC_UNIT).sqrt();
+            for x in v.iter_mut() {
+                // Box-Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                *x = sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+        st.remove_drift();
+        st
+    }
+
+    /// Remove centre-of-mass momentum.
+    pub fn remove_drift(&mut self) {
+        let total_m: f64 = self.masses.iter().sum();
+        let mut p = [0.0f64; 3];
+        for (v, &m) in self.velocities.iter().zip(&self.masses) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        for v in &mut self.velocities {
+            for k in 0..3 {
+                v[k] -= p[k] / total_m;
+            }
+        }
+    }
+
+    /// Kinetic energy (eV).
+    pub fn kinetic_energy(&self) -> f64 {
+        let mut ke = 0.0;
+        for (v, &m) in self.velocities.iter().zip(&self.masses) {
+            let v2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+            ke += 0.5 * m * v2 / ACC_UNIT;
+        }
+        ke
+    }
+
+    /// Instantaneous temperature (K) from the equipartition theorem.
+    pub fn temperature(&self) -> f64 {
+        let dof = (3 * self.velocities.len()) as f64;
+        if dof == 0.0 {
+            0.0
+        } else {
+            2.0 * self.kinetic_energy() / (dof * KB_EV)
+        }
+    }
+}
+
+/// One velocity-Verlet step:
+/// `v += a dt/2; x += v dt; (new forces); v += a dt/2`.
+///
+/// `forces_before` are the forces at the current positions; the caller
+/// provides `eval` to compute forces at the updated positions and gets
+/// them back for the next step.
+pub fn velocity_verlet_step<F>(
+    structure: &mut Structure,
+    state: &mut MdState,
+    forces_before: &[[f64; 3]],
+    dt_fs: f64,
+    eval: F,
+) -> Vec<[f64; 3]>
+where
+    F: FnOnce(&Structure) -> Vec<[f64; 3]>,
+{
+    let n = structure.n_atoms();
+    assert_eq!(forces_before.len(), n, "force count mismatch");
+    // Half kick + drift.
+    let mut disp = vec![[0.0f64; 3]; n];
+    for i in 0..n {
+        let m = state.masses[i];
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt_fs * forces_before[i][k] / m * ACC_UNIT;
+            disp[i][k] = state.velocities[i][k] * dt_fs;
+        }
+    }
+    structure.displace_cart(&disp);
+    // New forces, second half kick.
+    let forces_after = eval(structure);
+    for i in 0..n {
+        let m = state.masses[i];
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt_fs * forces_after[i][k] / m * ACC_UNIT;
+        }
+    }
+    forces_after
+}
+
+/// Langevin thermostat kick (BAOAB-style O-step): mixes velocities toward
+/// the Maxwell distribution at `t_kelvin` with friction `gamma_per_fs`.
+pub fn langevin_kick(
+    state: &mut MdState,
+    t_kelvin: f64,
+    gamma_per_fs: f64,
+    dt_fs: f64,
+    rng: &mut StdRng,
+) {
+    let c1 = (-gamma_per_fs * dt_fs).exp();
+    for (v, &m) in state.velocities.iter_mut().zip(&state.masses) {
+        let sigma = (KB_EV * t_kelvin / m * ACC_UNIT * (1.0 - c1 * c1)).sqrt();
+        for x in v.iter_mut() {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *x = c1 * *x + sigma * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_crystal::{Element, Lattice};
+    use rand::SeedableRng;
+
+    fn structure() -> Structure {
+        Structure::new(
+            Lattice::cubic(4.0),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.0; 3], [0.5, 0.5, 0.5]],
+        )
+    }
+
+    #[test]
+    fn thermal_init_hits_temperature() {
+        let s = Structure::new(
+            Lattice::cubic(20.0),
+            vec![Element::new(8); 64],
+            (0..64)
+                .map(|i| {
+                    [
+                        (i % 4) as f64 / 4.0,
+                        ((i / 4) % 4) as f64 / 4.0,
+                        (i / 16) as f64 / 4.0,
+                    ]
+                })
+                .collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let st = MdState::thermal(&s, 300.0, &mut rng);
+        let t = st.temperature();
+        assert!((t - 300.0).abs() < 90.0, "temperature {t}");
+        // No net drift.
+        let mut p = [0.0f64; 3];
+        for (v, &m) in st.velocities.iter().zip(&st.masses) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn verlet_conserves_energy_in_harmonic_well() {
+        // Single particle in an isotropic harmonic well around the cell
+        // centre: E should be conserved to O(dt²).
+        let mut s = Structure::new(
+            Lattice::cubic(10.0),
+            vec![Element::new(8)],
+            vec![[0.45, 0.5, 0.5]],
+        );
+        let mut st = MdState::at_rest(&s);
+        let k_spring = 2.0; // eV/Å²
+        let centre = [5.0, 5.0, 5.0];
+        let force_of = |s: &Structure| -> Vec<[f64; 3]> {
+            let x = s.cart_coords()[0];
+            vec![[
+                -k_spring * (x[0] - centre[0]),
+                -k_spring * (x[1] - centre[1]),
+                -k_spring * (x[2] - centre[2]),
+            ]]
+        };
+        let energy_of = |s: &Structure, st: &MdState| -> f64 {
+            let x = s.cart_coords()[0];
+            let dx: f64 = (0..3).map(|k| (x[k] - centre[k]).powi(2)).sum();
+            0.5 * k_spring * dx + st.kinetic_energy()
+        };
+        let mut f = force_of(&s);
+        let e0 = energy_of(&s, &st);
+        for _ in 0..2000 {
+            f = velocity_verlet_step(&mut s, &mut st, &f, 0.5, force_of);
+        }
+        let e1 = energy_of(&s, &st);
+        assert!((e1 - e0).abs() < 1e-3 * (1.0 + e0.abs()), "energy drift {e0} -> {e1}");
+    }
+
+    #[test]
+    fn langevin_thermalises_toward_target() {
+        let s = structure();
+        let mut st = MdState::at_rest(&s);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut avg_t = 0.0;
+        let steps = 3000;
+        for i in 0..steps {
+            langevin_kick(&mut st, 500.0, 0.05, 1.0, &mut rng);
+            if i > steps / 2 {
+                avg_t += st.temperature();
+            }
+        }
+        avg_t /= (steps / 2 - 1) as f64;
+        assert!((avg_t - 500.0).abs() < 200.0, "thermalised to {avg_t} K");
+    }
+
+    #[test]
+    fn kinetic_energy_zero_at_rest() {
+        let st = MdState::at_rest(&structure());
+        assert_eq!(st.kinetic_energy(), 0.0);
+        assert_eq!(st.temperature(), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! MD driver: ties a calculator to the integrator and records a
+//! trajectory log (the workload of the paper's Table II).
+
+use crate::field::ForceField;
+use crate::integrator::{langevin_kick, velocity_verlet_step, MdState};
+use fc_crystal::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Thermostat selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Ensemble {
+    /// Microcanonical (pure velocity Verlet).
+    Nve,
+    /// Langevin NVT at a target temperature with friction γ (1/fs).
+    Nvt {
+        /// Target temperature (K).
+        t_kelvin: f64,
+        /// Friction coefficient (1/fs).
+        gamma: f64,
+    },
+}
+
+/// MD run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MdConfig {
+    /// Timestep (fs).
+    pub dt_fs: f64,
+    /// Number of steps.
+    pub steps: usize,
+    /// Ensemble / thermostat.
+    pub ensemble: Ensemble,
+    /// Initial temperature for velocity initialisation (K).
+    pub init_t_kelvin: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a frame every `log_every` steps.
+    pub log_every: usize,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        MdConfig {
+            dt_fs: 1.0,
+            steps: 20,
+            ensemble: Ensemble::Nve,
+            init_t_kelvin: 300.0,
+            seed: 0,
+            log_every: 1,
+        }
+    }
+}
+
+/// One recorded trajectory frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Step index.
+    pub step: usize,
+    /// Potential energy (eV).
+    pub potential: f64,
+    /// Kinetic energy (eV).
+    pub kinetic: f64,
+    /// Instantaneous temperature (K).
+    pub temperature: f64,
+    /// Max force component magnitude (eV/Å).
+    pub max_force: f64,
+}
+
+/// A finished MD run.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// Recorded frames.
+    pub frames: Vec<Frame>,
+    /// Final structure.
+    pub final_structure: Structure,
+    /// Mean wall time of one MD step (seconds) — the Table II metric.
+    pub mean_step_time: f64,
+}
+
+impl Trajectory {
+    /// Total energy of frame `i` (potential + kinetic).
+    pub fn total_energy(&self, i: usize) -> f64 {
+        self.frames[i].potential + self.frames[i].kinetic
+    }
+}
+
+/// Run MD with any force field (a model calculator or the exact oracle).
+pub fn run_md<F: ForceField + ?Sized>(calc: &F, initial: &Structure, cfg: &MdConfig) -> Trajectory {
+    let mut structure = initial.clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut state = if cfg.init_t_kelvin > 0.0 {
+        MdState::thermal(&structure, cfg.init_t_kelvin, &mut rng)
+    } else {
+        MdState::at_rest(&structure)
+    };
+
+    let first = calc.compute(&structure);
+    let mut forces = first.forces;
+    let mut potential = first.energy;
+    let mut frames = Vec::new();
+    let mut step_time_acc = 0.0;
+
+    for step in 0..cfg.steps {
+        if step % cfg.log_every == 0 {
+            frames.push(make_frame(step, potential, &state, &forces));
+        }
+        let t0 = Instant::now();
+        if let Ensemble::Nvt { t_kelvin, gamma } = cfg.ensemble {
+            langevin_kick(&mut state, t_kelvin, gamma, cfg.dt_fs, &mut rng);
+        }
+        let mut new_potential = potential;
+        forces = velocity_verlet_step(&mut structure, &mut state, &forces, cfg.dt_fs, |s| {
+            let r = calc.compute(s);
+            new_potential = r.energy;
+            r.forces
+        });
+        potential = new_potential;
+        step_time_acc += t0.elapsed().as_secs_f64();
+    }
+    frames.push(make_frame(cfg.steps, potential, &state, &forces));
+
+    Trajectory {
+        frames,
+        final_structure: structure,
+        mean_step_time: step_time_acc / cfg.steps.max(1) as f64,
+    }
+}
+
+/// Time one MD step precisely (after a warm-up step), for Table II.
+pub fn time_md_step<F: ForceField + ?Sized>(calc: &F, structure: &Structure, repeats: usize) -> f64 {
+    let cfg = MdConfig { steps: 1, init_t_kelvin: 100.0, ..Default::default() };
+    // Warm-up.
+    let _ = run_md(calc, structure, &cfg);
+    let mut acc = 0.0;
+    for i in 0..repeats.max(1) {
+        let traj = run_md(calc, structure, &MdConfig { seed: i as u64, ..cfg });
+        acc += traj.mean_step_time;
+    }
+    acc / repeats.max(1) as f64
+}
+
+fn make_frame(step: usize, potential: f64, state: &MdState, forces: &[[f64; 3]]) -> Frame {
+    Frame {
+        step,
+        potential,
+        kinetic: state.kinetic_energy(),
+        temperature: state.temperature(),
+        max_force: forces
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, &f| m.max(f.abs())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculator::Calculator;
+    use crate::field::OracleField;
+    use fc_core::{Chgnet, ModelConfig, OptLevel};
+    use fc_crystal::{Element, Lattice};
+    use fc_tensor::ParamStore;
+
+    fn setup() -> (Chgnet, ParamStore, Structure) {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 9);
+        let s = Structure::new(
+            Lattice::cubic(3.6),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.0; 3], [0.5, 0.5, 0.5]],
+        );
+        (model, store, s)
+    }
+
+    #[test]
+    fn md_runs_and_logs() {
+        let (model, store, s) = setup();
+        let calc = Calculator::new(&model, &store);
+        let traj = run_md(&calc, &s, &MdConfig { steps: 5, ..Default::default() });
+        assert_eq!(traj.frames.len(), 6);
+        assert!(traj.mean_step_time > 0.0);
+        assert!(traj.frames.iter().all(|f| f.potential.is_finite()));
+        assert_eq!(traj.final_structure.n_atoms(), 2);
+    }
+
+    #[test]
+    fn nvt_keeps_temperature_bounded() {
+        let (model, store, s) = setup();
+        let calc = Calculator::new(&model, &store);
+        let traj = run_md(
+            &calc,
+            &s,
+            &MdConfig {
+                steps: 10,
+                dt_fs: 0.5,
+                ensemble: Ensemble::Nvt { t_kelvin: 300.0, gamma: 0.1 },
+                ..Default::default()
+            },
+        );
+        for f in &traj.frames {
+            assert!(f.temperature.is_finite() && f.temperature < 50_000.0);
+        }
+    }
+
+    #[test]
+    fn nve_conserves_energy_on_exact_forces() {
+        // Velocity Verlet + the oracle's analytic forces: total energy
+        // drift over 60 fs must be small relative to the kinetic scale.
+        let s = Structure::new(
+            Lattice::cubic(4.2),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.02, 0.0, 0.0], [0.5, 0.5, 0.5]],
+        );
+        let traj = run_md(
+            &OracleField,
+            &s,
+            &MdConfig { steps: 120, dt_fs: 0.5, init_t_kelvin: 300.0, ..Default::default() },
+        );
+        let e0 = traj.total_energy(0);
+        let e_last = traj.total_energy(traj.frames.len() - 1);
+        let ke_scale = traj.frames[0].kinetic.abs().max(1e-3);
+        assert!(
+            (e_last - e0).abs() < 0.2 * ke_scale,
+            "NVE drift {e0} -> {e_last} (KE scale {ke_scale})"
+        );
+    }
+
+    #[test]
+    fn step_timer_positive() {
+        let (model, store, s) = setup();
+        let calc = Calculator::new(&model, &store);
+        let t = time_md_step(&calc, &s, 1);
+        assert!(t > 0.0 && t < 60.0);
+    }
+}

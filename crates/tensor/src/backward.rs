@@ -1,0 +1,750 @@
+//! Reverse-mode differentiation over the tape.
+//!
+//! `backward` walks the tape in reverse topological order (node ids are
+//! already topologically sorted) and emits each vector-Jacobian product as
+//! *new tape nodes*. Because gradients are themselves graph nodes, a second
+//! `backward` over a gradient (double backward) works out of the box — this
+//! is how the reference CHGNet's force/stress training loop obtains
+//! ∂²E/∂θ∂x, and why decoupling it (the Force/Stress heads) saves both the
+//! retained graph memory and the second-order kernels.
+
+use crate::kernels::elementwise::{BinKind, UnKind};
+use crate::op::{Op, Var};
+use crate::param::ParamStore;
+use crate::shape::Bcast;
+use crate::tape::Tape;
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// Gradients produced by a backward pass: for each node of the original
+/// graph that required grad and received a contribution, the `Var` holding
+/// its gradient.
+pub struct GradMap {
+    grads: Vec<Option<Var>>,
+}
+
+impl GradMap {
+    /// Gradient of the seeded output with respect to node `v`, if any
+    /// gradient flowed there.
+    pub fn get(&self, v: Var) -> Option<Var> {
+        self.grads.get(v.id() as usize).copied().flatten()
+    }
+}
+
+impl Tape {
+    /// Reverse-mode sweep from `output`, seeded with ones.
+    ///
+    /// Returns a [`GradMap`]. The gradient sub-graph stays on the tape: for
+    /// first-order-only training, extract what you need and `reset()`; for
+    /// second-order training, keep building on the returned gradient `Var`s
+    /// (PyTorch's `create_graph=True` semantics).
+    pub fn backward(&self, output: Var) -> GradMap {
+        let shape = self.shape(output);
+        self.backward_seeded(output, Tensor::ones(shape.rows, shape.cols))
+    }
+
+    /// Reverse-mode sweep from `output` with an explicit seed cotangent.
+    pub fn backward_seeded(&self, output: Var, seed: Tensor) -> GradMap {
+        assert_eq!(self.shape(output), seed.shape(), "seed shape mismatch");
+        let n = output.id() as usize + 1;
+        let mut grads: Vec<Option<Var>> = vec![None; n];
+        if !self.requires_grad(output) {
+            return GradMap { grads };
+        }
+        grads[output.id() as usize] = Some(self.constant(seed));
+
+        for i in (0..n).rev() {
+            let Some(g) = grads[i] else { continue };
+            let (op, rg) = {
+                let nodes = self.nodes.borrow();
+                (nodes[i].op.clone(), nodes[i].rg)
+            };
+            if !rg {
+                continue;
+            }
+            self.vjp(Var(i as u32), &op, g, &mut grads);
+        }
+        GradMap { grads }
+    }
+
+    /// Accumulate `extra` into `grads[target]`.
+    fn accum(&self, grads: &mut [Option<Var>], target: u32, extra: Var) {
+        if !self.requires_grad(Var(target)) {
+            return;
+        }
+        let slot = &mut grads[target as usize];
+        *slot = Some(match *slot {
+            Some(existing) => self.add(existing, extra),
+            None => extra,
+        });
+    }
+
+    /// Reduce a gradient with the output shape down to an operand that was
+    /// broadcast with pattern `bc`.
+    fn reduce_bcast(&self, g: Var, bc: Bcast) -> Var {
+        use crate::kernels::reduce::Axis;
+        match bc {
+            Bcast::Full => g,
+            Bcast::Col => self.sum(g, Axis::Cols),
+            Bcast::Row => self.sum(g, Axis::Rows),
+            Bcast::Scalar => self.sum(g, Axis::All),
+        }
+    }
+
+    /// Emit the VJP of one node: distribute cotangent `g` of node `out`
+    /// into its inputs.
+    fn vjp(&self, out: Var, op: &Op, g: Var, grads: &mut Vec<Option<Var>>) {
+        use crate::kernels::reduce::Axis;
+        match op {
+            Op::Leaf | Op::DiffLeaf | Op::Param(_) => {}
+
+            Op::Un { kind, a } => {
+                let a = *a;
+                let av = Var(a);
+                let contrib = match *kind {
+                    UnKind::Neg => Some(self.neg(g)),
+                    UnKind::Exp => Some(self.mul(g, out)),
+                    UnKind::Ln => Some(self.div(g, av)),
+                    UnKind::Sqrt => {
+                        let half_inv = self.scale(self.recip(out), 0.5);
+                        Some(self.mul(g, half_inv))
+                    }
+                    UnKind::Sin => {
+                        let c = self.cos(av);
+                        Some(self.mul(g, c))
+                    }
+                    UnKind::Cos => {
+                        let s = self.sin(av);
+                        Some(self.neg(self.mul(g, s)))
+                    }
+                    UnKind::Arccos => {
+                        // -1 / sqrt(1 - a^2), with an epsilon so exactly
+                        // collinear inputs (cos θ = ±1) stay finite.
+                        // Callers should clamp inputs away from ±1 (see
+                        // the angle construction in fc_core) — this guard
+                        // only bounds the worst case.
+                        let one_minus = self.add_scalar(self.neg(self.square(av)), 1.0);
+                        let safe = self.add_scalar(one_minus, 1e-10);
+                        let d = self.recip(self.sqrt(safe));
+                        Some(self.neg(self.mul(g, d)))
+                    }
+                    UnKind::Sigmoid => {
+                        // s(1-s) with s = out.
+                        let d = self.sub(out, self.square(out));
+                        Some(self.mul(g, d))
+                    }
+                    UnKind::Silu => {
+                        // silu'(x) = s + x·s·(1-s), s = sigmoid(x).
+                        let s = self.sigmoid(av);
+                        let xs = self.mul(av, s);
+                        let xss = self.mul(xs, s);
+                        let d = self.add(s, self.sub(xs, xss));
+                        Some(self.mul(g, d))
+                    }
+                    UnKind::Tanh => {
+                        let d = self.add_scalar(self.neg(self.square(out)), 1.0);
+                        Some(self.mul(g, d))
+                    }
+                    UnKind::Recip => {
+                        // -1/a² = -out².
+                        Some(self.neg(self.mul(g, self.square(out))))
+                    }
+                    UnKind::Square => {
+                        let two_a = self.scale(av, 2.0);
+                        Some(self.mul(g, two_a))
+                    }
+                    UnKind::Abs => {
+                        let s = self.sign(av);
+                        Some(self.mul(g, s))
+                    }
+                    UnKind::Sign | UnKind::LtScalar(_) | UnKind::InsideInterval(..) => None,
+                    UnKind::Clamp(lo, hi) => {
+                        let ind = self.unary(UnKind::InsideInterval(lo, hi), av);
+                        Some(self.mul(g, ind))
+                    }
+                    UnKind::Powi(n) => {
+                        if n == 0 {
+                            None
+                        } else {
+                            let d = self.scale(self.powi(av, n - 1), n as f32);
+                            Some(self.mul(g, d))
+                        }
+                    }
+                    UnKind::Scale(c) => Some(self.scale(g, c)),
+                    UnKind::AddScalar(_) => Some(g),
+                    UnKind::ClampMax(c) => {
+                        let ind = self.lt_scalar(av, c);
+                        Some(self.mul(g, ind))
+                    }
+                };
+                if let Some(c) = contrib {
+                    self.accum(grads, a, c);
+                }
+            }
+
+            Op::Bin { kind, a, ba, b, bb } => {
+                let (a, b, ba, bb) = (*a, *b, *ba, *bb);
+                let (av, bv) = (Var(a), Var(b));
+                match kind {
+                    BinKind::Add => {
+                        let ga = self.reduce_bcast(g, ba);
+                        self.accum(grads, a, ga);
+                        let gb = self.reduce_bcast(g, bb);
+                        self.accum(grads, b, gb);
+                    }
+                    BinKind::Sub => {
+                        let ga = self.reduce_bcast(g, ba);
+                        self.accum(grads, a, ga);
+                        let gb = self.reduce_bcast(self.neg(g), bb);
+                        self.accum(grads, b, gb);
+                    }
+                    BinKind::Mul => {
+                        if self.requires_grad(av) {
+                            let ga = self.reduce_bcast(self.mul(g, bv), ba);
+                            self.accum(grads, a, ga);
+                        }
+                        if self.requires_grad(bv) {
+                            let gb = self.reduce_bcast(self.mul(g, av), bb);
+                            self.accum(grads, b, gb);
+                        }
+                    }
+                    BinKind::Div => {
+                        if self.requires_grad(av) {
+                            let ga = self.reduce_bcast(self.div(g, bv), ba);
+                            self.accum(grads, a, ga);
+                        }
+                        if self.requires_grad(bv) {
+                            // d(a/b)/db = -a/b² = -out/b.
+                            let t = self.div(out, bv);
+                            let gb = self.reduce_bcast(self.neg(self.mul(g, t)), bb);
+                            self.accum(grads, b, gb);
+                        }
+                    }
+                }
+            }
+
+            Op::Matmul { a, b } => {
+                let (a, b) = (*a, *b);
+                if self.requires_grad(Var(a)) {
+                    let bt = self.transpose(Var(b));
+                    let ga = self.matmul(g, bt);
+                    self.accum(grads, a, ga);
+                }
+                if self.requires_grad(Var(b)) {
+                    let at = self.transpose(Var(a));
+                    let gb = self.matmul(at, g);
+                    self.accum(grads, b, gb);
+                }
+            }
+
+            Op::Transpose { a } => {
+                let ga = self.transpose(g);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::Sum { a, .. } => {
+                let shape = self.shape(Var(*a));
+                let ga = self.broadcast_to(g, shape);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::BroadcastTo { a, shape } => {
+                let src = self.shape(Var(*a));
+                let bc = Bcast::resolve(src, *shape).expect("broadcast_to VJP");
+                let ga = self.reduce_bcast(g, bc);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::Gather { a, idx } => {
+                let rows = self.shape(Var(*a)).rows;
+                let ga = self.segment_sum(g, idx.clone(), rows);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::SegSum { a, seg, .. } => {
+                let ga = self.gather(g, seg.clone());
+                self.accum(grads, *a, ga);
+            }
+
+            Op::ConcatCols { parts } => {
+                let mut off = 0;
+                for &p in parts.iter() {
+                    let c = self.shape(Var(p)).cols;
+                    if self.requires_grad(Var(p)) {
+                        let gp = self.slice_cols(g, off, c);
+                        self.accum(grads, p, gp);
+                    }
+                    off += c;
+                }
+            }
+
+            Op::ConcatRows { parts } => {
+                let mut off = 0;
+                for &p in parts.iter() {
+                    let r = self.shape(Var(p)).rows;
+                    if self.requires_grad(Var(p)) {
+                        let gp = self.slice_rows(g, off, r);
+                        self.accum(grads, p, gp);
+                    }
+                    off += r;
+                }
+            }
+
+            Op::SliceCols { a, start, len } => {
+                let total = self.shape(Var(*a)).cols;
+                let _ = len;
+                let ga = self.pad_cols(g, *start, total);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::SliceRows { a, start, len } => {
+                let total = self.shape(Var(*a)).rows;
+                let _ = len;
+                let ga = self.pad_rows(g, *start, total);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::PadCols { a, start, .. } => {
+                let len = self.shape(Var(*a)).cols;
+                let ga = self.slice_cols(g, *start, len);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::PadRows { a, start, .. } => {
+                let len = self.shape(Var(*a)).rows;
+                let ga = self.slice_rows(g, *start, len);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::Reshape { a, .. } => {
+                let s = self.shape(Var(*a));
+                let ga = self.reshape(g, s.rows, s.cols);
+                self.accum(grads, *a, ga);
+            }
+
+            Op::BlockDiagMm { a, b, seg, trans_b } => {
+                let (a, b) = (*a, *b);
+                if self.requires_grad(Var(a)) {
+                    let ga = self.block_diag_matmul(g, Var(b), seg.clone(), !trans_b);
+                    self.accum(grads, a, ga);
+                }
+                if self.requires_grad(Var(b)) {
+                    // Per-block outer-product accumulation, expressed with
+                    // primitives so it stays differentiable.
+                    let nseg3 = self.shape(Var(b)).rows;
+                    // For trans_b=false: dB[3s+k, j] += a[r,k] g[r,j];
+                    // for trans_b=true : dB[3s+j, k] += a[r,k] g[r,j];
+                    // i.e. swap the roles of (a, g).
+                    let (rows_src, cols_src) =
+                        if *trans_b { (g, Var(a)) } else { (Var(a), g) };
+                    let mut gb: Option<Var> = None;
+                    for k in 0..3usize {
+                        let seg3: Arc<[u32]> =
+                            seg.iter().map(|&s| 3 * s + k as u32).collect::<Vec<_>>().into();
+                        let col = self.slice_cols(rows_src, k, 1);
+                        let weighted = self.mul(cols_src, col);
+                        let part = self.segment_sum(weighted, seg3, nseg3);
+                        gb = Some(match gb {
+                            Some(acc) => self.add(acc, part),
+                            None => part,
+                        });
+                    }
+                    self.accum(grads, b, gb.expect("3 block columns"));
+                }
+            }
+
+            Op::FusedSrbf { r, cfg, order } => {
+                let deriv = self.fused_srbf(Var(*r), *cfg, order + 1);
+                let prod = self.mul(g, deriv);
+                let gr = self.sum(prod, Axis::Cols);
+                self.accum(grads, *r, gr);
+            }
+
+            Op::FusedFourier { theta, harmonics, order } => {
+                let deriv = self.fused_fourier(Var(*theta), *harmonics, order + 1);
+                let prod = self.mul(g, deriv);
+                let gt = self.sum(prod, Axis::Cols);
+                self.accum(grads, *theta, gt);
+            }
+
+            Op::FusedLayerNorm { a, gamma, beta, eps } => {
+                // Recompute the normalisation statistics with primitives
+                // so the VJP remains differentiable (double backward).
+                let (a, gamma, beta, eps) = (*a, *gamma, *beta, *eps);
+                let av = Var(a);
+                let m = self.shape(av).cols.max(1) as f32;
+                let mean = self.scale(self.sum(av, Axis::Cols), 1.0 / m);
+                let centered = self.sub(av, mean);
+                let var = self.scale(self.sum(self.square(centered), Axis::Cols), 1.0 / m);
+                let inv_std = self.recip(self.sqrt(self.add_scalar(var, eps)));
+                let xhat = self.mul(centered, inv_std);
+                if self.requires_grad(Var(gamma)) {
+                    let gg = self.sum(self.mul(g, xhat), Axis::Rows);
+                    self.accum(grads, gamma, gg);
+                }
+                if self.requires_grad(Var(beta)) {
+                    let gb = self.sum(g, Axis::Rows);
+                    self.accum(grads, beta, gb);
+                }
+                if self.requires_grad(av) {
+                    // dL/dx = inv_std ⊙ (gx − mean(gx) − xhat ⊙ mean(gx ⊙ xhat))
+                    // with gx = g ⊙ gamma, means taken per row.
+                    let gx = self.mul(g, Var(gamma));
+                    let mean_gx = self.scale(self.sum(gx, Axis::Cols), 1.0 / m);
+                    let mean_gxx = self.scale(self.sum(self.mul(gx, xhat), Axis::Cols), 1.0 / m);
+                    let inner = self.sub(self.sub(gx, mean_gx), self.mul(xhat, mean_gxx));
+                    let ga = self.mul(inner, inv_std);
+                    self.accum(grads, a, ga);
+                }
+            }
+
+            Op::FusedGate { a, b } => {
+                let (a, b) = (*a, *b);
+                let (av, bv) = (Var(a), Var(b));
+                if self.requires_grad(av) {
+                    let sa = self.sigmoid(av);
+                    let dsig = self.sub(sa, self.square(sa));
+                    let silu_b = self.silu(bv);
+                    let ga = self.mul(self.mul(g, silu_b), dsig);
+                    self.accum(grads, a, ga);
+                }
+                if self.requires_grad(bv) {
+                    let sa = self.sigmoid(av);
+                    let sb = self.sigmoid(bv);
+                    let bs = self.mul(bv, sb);
+                    let bss = self.mul(bs, sb);
+                    let dsilu = self.add(sb, self.sub(bs, bss));
+                    let gb = self.mul(self.mul(g, sa), dsilu);
+                    self.accum(grads, b, gb);
+                }
+            }
+        }
+    }
+}
+
+impl ParamStore {
+    /// Add the gradients of every parameter injected into `tape` (per the
+    /// grad map `gm`) into this store's accumulators.
+    pub fn accumulate_grads(&mut self, tape: &Tape, gm: &GradMap) {
+        for (pid, var) in tape.injected_params() {
+            if let Some(gv) = gm.get(var) {
+                let g = tape.value(gv);
+                self.entry_mut(pid).grad.axpy(1.0, &g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::fused::SrbfCfg;
+
+    /// Central finite-difference check of d(scalar f)/d(input x).
+    fn grad_check(build: impl Fn(&Tape, Var) -> Var, x0: Tensor, tol: f32) {
+        let tape = Tape::new();
+        let x = tape.input(x0.clone());
+        let y = build(&tape, x);
+        assert!(tape.shape(y).is_scalar(), "grad_check wants scalar outputs");
+        let gm = tape.backward(y);
+        let g = tape.value(gm.get(x).expect("grad exists"));
+
+        let h = 1e-3f32;
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x0.clone();
+            xm.data_mut()[i] -= h;
+            let tp = Tape::new();
+            let fp = {
+                let v = tp.input(xp);
+                tp.value(build(&tp, v)).item()
+            };
+            let tm = Tape::new();
+            let fm = {
+                let v = tm.input(xm);
+                tm.value(build(&tm, v)).item()
+            };
+            let fd = (fp - fm) / (2.0 * h);
+            let an = g.data()[i];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + an.abs().max(fd.abs())),
+                "element {i}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_elementwise_chain() {
+        grad_check(
+            |t, x| {
+                let a = t.sin(x);
+                let b = t.mul(a, x);
+                let c = t.exp(t.scale(b, 0.3));
+                t.sum_all(c)
+            },
+            Tensor::row_vec(&[0.5, -1.2, 2.0]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_sigmoid_silu_tanh() {
+        grad_check(
+            |t, x| {
+                let a = t.sigmoid(x);
+                let b = t.silu(x);
+                let c = t.tanh(x);
+                t.sum_all(t.mul(t.add(a, b), c))
+            },
+            Tensor::row_vec(&[0.3, -0.7, 1.5, -2.2]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_matmul() {
+        grad_check(
+            |t, x| {
+                let w = t.constant(Tensor::from_rows(&[vec![1.0, -2.0], vec![0.5, 1.5]]));
+                let y = t.matmul(x, w);
+                t.sum_all(t.square(y))
+            },
+            Tensor::from_rows(&[vec![0.2, -0.4], vec![1.0, 0.3]]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_gather_segment() {
+        let idx: Arc<[u32]> = Arc::from(vec![0u32, 1, 1, 2]);
+        let seg: Arc<[u32]> = Arc::from(vec![0u32, 0, 1, 1]);
+        grad_check(
+            move |t, x| {
+                let gathered = t.gather(x, idx.clone());
+                let sq = t.square(gathered);
+                let agg = t.segment_sum(sq, seg.clone(), 2);
+                t.sum_all(agg)
+            },
+            Tensor::from_rows(&[vec![1.0, 2.0], vec![-0.5, 0.3], vec![0.8, -1.1]]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_layer_norm() {
+        grad_check(
+            |t, x| {
+                let gamma = t.constant(Tensor::row_vec(&[1.2, 0.8, 1.0]));
+                let beta = t.constant(Tensor::row_vec(&[0.1, -0.1, 0.0]));
+                let ln = t.layer_norm(x, gamma, beta, 1e-5);
+                t.sum_all(t.square(ln))
+            },
+            Tensor::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.2, -0.3]]),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn fused_layer_norm_matches_composed_values_and_grads() {
+        let x0 = Tensor::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.2, -0.3]]);
+        let gamma0 = Tensor::row_vec(&[1.2, 0.8, 1.0]);
+        let beta0 = Tensor::row_vec(&[0.1, -0.1, 0.0]);
+
+        // Values agree with the primitive composition.
+        let t = Tape::new();
+        let x = t.input(x0.clone());
+        let gamma = t.input(gamma0.clone());
+        let beta = t.input(beta0.clone());
+        let fused = t.fused_layer_norm(x, gamma, beta, 1e-5);
+        let composed = t.layer_norm(x, gamma, beta, 1e-5);
+        assert!(t.value(fused).approx_eq(&t.value(composed), 1e-4));
+
+        // Gradients agree for x, gamma and beta.
+        let lf = t.sum_all(t.square(fused));
+        let gf = t.backward(lf);
+        let lc = t.sum_all(t.square(composed));
+        let gc = t.backward(lc);
+        for v in [x, gamma, beta] {
+            let a = t.value(gf.get(v).unwrap());
+            let b = t.value(gc.get(v).unwrap());
+            assert!(a.approx_eq(&b, 1e-3), "grad mismatch: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn grad_of_fused_layer_norm_matches_fd() {
+        grad_check(
+            |t, x| {
+                let gamma = t.constant(Tensor::row_vec(&[1.2, 0.8, 1.0]));
+                let beta = t.constant(Tensor::row_vec(&[0.1, -0.1, 0.0]));
+                let ln = t.fused_layer_norm(x, gamma, beta, 1e-4);
+                t.sum_all(t.square(ln))
+            },
+            Tensor::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.2, -0.3]]),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_huber() {
+        grad_check(
+            |t, x| t.sum_all(t.huber(x, 1.0)),
+            Tensor::row_vec(&[0.4, -0.2, 2.5, -3.0]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_fused_srbf() {
+        let cfg = SrbfCfg::new(5, 6.0, 8);
+        grad_check(
+            move |t, x| {
+                let b = t.fused_srbf(x, cfg, 0);
+                t.sum_all(t.square(b))
+            },
+            Tensor::col_vec(&[1.0, 2.5, 4.0]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_fused_fourier_and_gate() {
+        grad_check(
+            |t, x| {
+                let f = t.fused_fourier(x, 4, 0);
+                t.sum_all(t.square(f))
+            },
+            Tensor::col_vec(&[0.4, 1.1, 2.0]),
+            2e-2,
+        );
+        grad_check(
+            |t, x| {
+                let a = t.scale(x, 0.5);
+                let gated = t.fused_gate(a, x);
+                t.sum_all(gated)
+            },
+            Tensor::row_vec(&[0.3, -1.0, 2.0]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_of_block_diag_matmul() {
+        let seg: Arc<[u32]> = Arc::from(vec![0u32, 1]);
+        // Gradient w.r.t. lhs rows.
+        let blocks = Tensor::from_rows(&[
+            vec![1.0, 0.5, 0.0],
+            vec![0.0, 1.0, 0.2],
+            vec![0.3, 0.0, 1.0],
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let b2 = blocks.clone();
+        let s2 = seg.clone();
+        grad_check(
+            move |t, x| {
+                let b = t.constant(b2.clone());
+                let y = t.block_diag_matmul(x, b, s2.clone(), false);
+                t.sum_all(t.square(y))
+            },
+            Tensor::from_rows(&[vec![1.0, -0.5, 0.2], vec![0.3, 0.9, -1.0]]),
+            2e-2,
+        );
+        // Gradient w.r.t. the blocks.
+        let a_fixed = Tensor::from_rows(&[vec![1.0, -0.5, 0.2], vec![0.3, 0.9, -1.0]]);
+        grad_check(
+            move |t, x| {
+                let a = t.constant(a_fixed.clone());
+                let y = t.block_diag_matmul(a, x, seg.clone(), false);
+                t.sum_all(t.square(y))
+            },
+            blocks,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn double_backward_cubic() {
+        // y = sum(x³): dy/dx = 3x², d²y/dx² (diag) = 6x.
+        let tape = Tape::new();
+        let x = tape.input(Tensor::row_vec(&[1.5, -2.0]));
+        let y = tape.sum_all(tape.powi(x, 3));
+        let gm = tape.backward(y);
+        let gx = gm.get(x).unwrap();
+        assert!(tape
+            .value(gx)
+            .approx_eq(&Tensor::row_vec(&[6.75, 12.0]), 1e-4));
+        // Second backward through the gradient graph.
+        let s = tape.sum_all(gx);
+        let gm2 = tape.backward(s);
+        let gx2 = gm2.get(x).unwrap();
+        assert!(tape.value(gx2).approx_eq(&Tensor::row_vec(&[9.0, -12.0]), 1e-4));
+    }
+
+    #[test]
+    fn double_backward_through_fused_srbf() {
+        // Force-style pattern: E = sum(basis(r)), F = dE/dr; then
+        // d(sum F²)/dr must match finite differences of sum F².
+        let cfg = SrbfCfg::new(4, 6.0, 8);
+        let f_of = |r: f32| -> (f32, f32) {
+            let tape = Tape::new();
+            let rv = tape.input(Tensor::scalar(r));
+            let e = tape.sum_all(tape.fused_srbf(rv, cfg, 0));
+            let gm = tape.backward(e);
+            let force = gm.get(rv).unwrap();
+            let loss = tape.sum_all(tape.square(force));
+            let gm2 = tape.backward(loss);
+            let d = tape.value(gm2.get(rv).unwrap()).item();
+            (tape.value(loss).item(), d)
+        };
+        let h = 1e-3;
+        for &r in &[1.2f32, 2.8, 4.5] {
+            let (_, analytic) = f_of(r);
+            let (lp, _) = f_of(r + h);
+            let (lm, _) = f_of(r - h);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "r={r}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_grad_accumulation() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[vec![2.0]]));
+        let tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let x = tape.constant(Tensor::scalar(3.0));
+        let y = tape.mul(wv, x);
+        let gm = tape.backward(y);
+        store.accumulate_grads(&tape, &gm);
+        assert!((store.entry(w).grad.item() - 3.0).abs() < 1e-6);
+        // Accumulates on a second pass.
+        store.accumulate_grads(&tape, &gm);
+        assert!((store.entry(w).grad.item() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_grad_through_constants() {
+        let tape = Tape::new();
+        let c = tape.scalar(5.0);
+        let x = tape.input(Tensor::scalar(1.0));
+        let y = tape.mul(c, x);
+        let gm = tape.backward(y);
+        assert!(gm.get(c).is_none());
+        assert!(gm.get(x).is_some());
+    }
+
+    #[test]
+    fn backward_of_non_rg_output_is_empty() {
+        let tape = Tape::new();
+        let c = tape.scalar(5.0);
+        let y = tape.square(c);
+        let gm = tape.backward(y);
+        assert!(gm.get(c).is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Elementwise unary and binary kernels with broadcast support.
+
+use super::PAR_THRESHOLD;
+use crate::shape::{Bcast, Shape};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Unary elementwise operator kinds.
+///
+/// `Powi`, `Scale` and `AddScalar` carry immediate operands so that common
+/// scalar arithmetic does not require materialising constant tensors — part
+/// of the "redundancy bypass" the paper applies to the envelope polynomial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UnKind {
+    /// `-x`
+    Neg,
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)`
+    Ln,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `arccos(x)` (input clamped to `[-1, 1]` for numerical safety)
+    Arccos,
+    /// Logistic sigmoid `1 / (1 + exp(-x))`
+    Sigmoid,
+    /// `silu(x) = x * sigmoid(x)` (the paper's SiLU activation)
+    Silu,
+    /// `tanh(x)`
+    Tanh,
+    /// `1 / x`
+    Recip,
+    /// `x^2`
+    Square,
+    /// `|x|`
+    Abs,
+    /// `sign(x)` (0 at 0)
+    Sign,
+    /// `x^n` for integer `n`
+    Powi(i32),
+    /// `c * x`
+    Scale(f32),
+    /// `x + c`
+    AddScalar(f32),
+    /// `min(x, c)`
+    ClampMax(f32),
+    /// `clamp(x, lo, hi)` — derivative 1 strictly inside, 0 outside.
+    /// Used to regularise `cos θ` before `arccos`: periodic self-image
+    /// bond pairs are *exactly* collinear, where dθ/dcos diverges.
+    Clamp(f32, f32),
+    /// Indicator `x < c ? 1 : 0`
+    LtScalar(f32),
+    /// Indicator `lo < x && x < hi ? 1 : 0`
+    InsideInterval(f32, f32),
+}
+
+impl UnKind {
+    /// Apply the scalar function.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnKind::Neg => -x,
+            UnKind::Exp => x.exp(),
+            UnKind::Ln => x.ln(),
+            UnKind::Sqrt => x.sqrt(),
+            UnKind::Sin => x.sin(),
+            UnKind::Cos => x.cos(),
+            UnKind::Arccos => x.clamp(-1.0, 1.0).acos(),
+            UnKind::Sigmoid => sigmoid(x),
+            UnKind::Silu => x * sigmoid(x),
+            UnKind::Tanh => x.tanh(),
+            UnKind::Recip => 1.0 / x,
+            UnKind::Square => x * x,
+            UnKind::Abs => x.abs(),
+            UnKind::Sign => {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            UnKind::Powi(n) => x.powi(n),
+            UnKind::Scale(c) => c * x,
+            UnKind::AddScalar(c) => x + c,
+            UnKind::ClampMax(c) => x.min(c),
+            UnKind::Clamp(lo, hi) => x.clamp(lo, hi),
+            UnKind::LtScalar(c) => {
+                if x < c {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnKind::InsideInterval(lo, hi) => {
+                if x > lo && x < hi {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline(always)]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary elementwise operator kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinKind {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b` (Hadamard / `⊙` in the paper)
+    Mul,
+    /// `a / b`
+    Div,
+}
+
+impl BinKind {
+    /// Apply the scalar function.
+    #[inline(always)]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinKind::Add => a + b,
+            BinKind::Sub => a - b,
+            BinKind::Mul => a * b,
+            BinKind::Div => a / b,
+        }
+    }
+}
+
+/// Unary elementwise kernel: `out[i] = kind(a[i])`.
+pub fn unary(kind: UnKind, a: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; a.len()];
+    let src = a.data();
+    if a.len() >= PAR_THRESHOLD {
+        out.par_iter_mut().zip(src.par_iter()).for_each(|(o, &x)| *o = kind.apply(x));
+    } else {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = kind.apply(x);
+        }
+    }
+    Tensor::from_vec(a.shape(), out)
+}
+
+/// Binary elementwise kernel with broadcasting:
+/// `out[r,c] = kind(a[bcast_a(r,c)], b[bcast_b(r,c)])`.
+pub fn binary(kind: BinKind, a: &Tensor, ba: Bcast, b: &Tensor, bb: Bcast, out_shape: Shape) -> Tensor {
+    let cols = out_shape.cols;
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; out_shape.len()];
+
+    // Fast path: both operands dense with the output shape.
+    if ba == Bcast::Full && bb == Bcast::Full {
+        if out.len() >= PAR_THRESHOLD {
+            out.par_iter_mut()
+                .zip(ad.par_iter().zip(bd.par_iter()))
+                .for_each(|(o, (&x, &y))| *o = kind.apply(x, y));
+        } else {
+            for ((o, &x), &y) in out.iter_mut().zip(ad).zip(bd) {
+                *o = kind.apply(x, y);
+            }
+        }
+        return Tensor::from_vec(out_shape, out);
+    }
+
+    let fill_row = |r: usize, row_out: &mut [f32]| {
+        for (c, o) in row_out.iter_mut().enumerate() {
+            let x = ad[ba.index(r, c, cols)];
+            let y = bd[bb.index(r, c, cols)];
+            *o = kind.apply(x, y);
+        }
+    };
+    if out.len() >= PAR_THRESHOLD {
+        out.par_chunks_mut(cols).enumerate().for_each(|(r, row)| fill_row(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(cols).enumerate() {
+            fill_row(r, row);
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// Reduce a gradient of `out_shape` back down to the operand's `shape`
+/// by summing over broadcast axes. Inverse of broadcasting for VJPs.
+pub fn reduce_to_shape(grad: &Tensor, shape: Shape) -> Tensor {
+    if grad.shape() == shape {
+        return grad.clone();
+    }
+    let mut out = Tensor::zeros(shape.rows, shape.cols);
+    let bc = Bcast::resolve(shape, grad.shape())
+        .unwrap_or_else(|| panic!("cannot reduce {} to {}", grad.shape(), shape));
+    let cols = grad.cols();
+    for r in 0..grad.rows() {
+        for c in 0..cols {
+            out.data_mut()[bc.index(r, c, cols)] += grad.at(r, c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_kinds() {
+        let t = Tensor::row_vec(&[-2.0, 0.0, 3.0]);
+        assert_eq!(unary(UnKind::Neg, &t).data(), &[2.0, 0.0, -3.0]);
+        assert_eq!(unary(UnKind::Abs, &t).data(), &[2.0, 0.0, 3.0]);
+        assert_eq!(unary(UnKind::Sign, &t).data(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(unary(UnKind::Square, &t).data(), &[4.0, 0.0, 9.0]);
+        assert_eq!(unary(UnKind::Scale(2.0), &t).data(), &[-4.0, 0.0, 6.0]);
+        assert_eq!(unary(UnKind::AddScalar(1.0), &t).data(), &[-1.0, 1.0, 4.0]);
+        assert_eq!(unary(UnKind::ClampMax(1.0), &t).data(), &[-2.0, 0.0, 1.0]);
+        assert_eq!(unary(UnKind::LtScalar(0.5), &t).data(), &[1.0, 1.0, 0.0]);
+        let s = unary(UnKind::Sigmoid, &t);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        let silu = unary(UnKind::Silu, &t);
+        assert!((silu.data()[2] - 3.0 * sigmoid(3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn arccos_clamps() {
+        let t = Tensor::row_vec(&[1.0 + 1e-7, -1.0 - 1e-7]);
+        let a = unary(UnKind::Arccos, &t);
+        assert!(a.all_finite());
+        assert!((a.data()[0] - 0.0).abs() < 1e-3);
+        assert!((a.data()[1] - std::f32::consts::PI).abs() < 1e-3);
+    }
+
+    #[test]
+    fn binary_full() {
+        let a = Tensor::row_vec(&[1.0, 2.0, 3.0]);
+        let b = Tensor::row_vec(&[4.0, 5.0, 6.0]);
+        let s = binary(BinKind::Add, &a, Bcast::Full, &b, Bcast::Full, a.shape());
+        assert_eq!(s.data(), &[5.0, 7.0, 9.0]);
+        let d = binary(BinKind::Div, &b, Bcast::Full, &a, Bcast::Full, a.shape());
+        assert_eq!(d.data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn binary_col_broadcast() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let col = Tensor::col_vec(&[10.0, 100.0]);
+        let out = binary(BinKind::Mul, &a, Bcast::Full, &col, Bcast::Col, a.shape());
+        assert_eq!(out.data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn binary_row_and_scalar_broadcast() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let row = Tensor::row_vec(&[1.0, -1.0]);
+        let out = binary(BinKind::Mul, &a, Bcast::Full, &row, Bcast::Row, a.shape());
+        assert_eq!(out.data(), &[1.0, -2.0, 3.0, -4.0]);
+        let s = Tensor::scalar(2.0);
+        let out = binary(BinKind::Sub, &a, Bcast::Full, &s, Bcast::Scalar, a.shape());
+        assert_eq!(out.data(), &[-1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_to_col() {
+        let g = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let r = reduce_to_shape(&g, Shape::new(2, 1));
+        assert_eq!(r.data(), &[3.0, 7.0]);
+        let r = reduce_to_shape(&g, Shape::new(1, 2));
+        assert_eq!(r.data(), &[4.0, 6.0]);
+        let r = reduce_to_shape(&g, Shape::scalar());
+        assert_eq!(r.data(), &[10.0]);
+    }
+}

@@ -1,0 +1,393 @@
+//! Fused kernels ("Fused-sRBF", "Fused-Fourier", fused GatedMLP gate).
+//!
+//! Each function here evaluates, in a single pass over memory, a chain that
+//! the reference CHGNet implementation executes as 10–20 separate
+//! elementwise kernels. Crucially, the radial and angular basis kernels are
+//! *closed under differentiation*: `fused_srbf(r, order)` evaluates the
+//! `order`-th derivative of the basis with respect to `r` analytically, and
+//! the tape's VJP of `FusedSRBF{order}` references `FusedSRBF{order+1}`.
+//! This keeps the fused fast path valid even inside the second-order
+//! (energy-derivative-force) training mode of FastCHGNet "w/o head".
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Configuration of the smooth Radial Bessel basis (DimeNet-style, as used
+/// by CHGNet's bond expansion).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SrbfCfg {
+    /// Number of basis functions (paper: 31).
+    pub n_basis: usize,
+    /// Cutoff radius in Å (paper: 6 Å atom graph, 3 Å bond graph).
+    pub r_cut: f32,
+    /// Envelope smoothing exponent (paper: p = 8).
+    pub p: u32,
+}
+
+impl SrbfCfg {
+    /// Standard configuration used by the paper's experiments.
+    pub fn new(n_basis: usize, r_cut: f32, p: u32) -> Self {
+        assert!(n_basis > 0 && r_cut > 0.0 && p >= 2, "invalid sRBF configuration");
+        SrbfCfg { n_basis, r_cut, p }
+    }
+}
+
+/// Maximum derivative order supported by the fused basis kernels.
+/// Order 0 = value, 1 = first derivative (force path), 2 = second
+/// derivative (double backward), 3 = guard for a further VJP of order 2.
+pub const MAX_BASIS_ORDER: u8 = 3;
+
+/// Evaluate the polynomial envelope `u(r)` of Eq. 12/13 and its first
+/// three derivatives with respect to `r`, using the Horner-factored form of
+/// Eq. 13 (the paper's "redundancy removal").
+///
+/// `u(ξ) = 1 + ξ^p · [−(p+1)(p+2)/2 + p(p+2)·ξ − p(p+1)/2·ξ²]`,
+/// `ξ = r / r_cut`.
+///
+/// Note: the paper's Eq. 12 prints the last coefficient as `p(p+2)/2`,
+/// which does not vanish at the cutoff (`u(r_cut) = −(p+2)/2 + 1`); the
+/// correct DimeNet polynomial-envelope coefficient is `p(p+1)/2`, which
+/// gives `u(r_cut) = u'(r_cut) = 0`. We use the correct form.
+pub fn envelope_derivs(r: f32, cfg: SrbfCfg) -> [f32; 4] {
+    let p = cfg.p as f32;
+    let xi = (r / cfg.r_cut).clamp(0.0, 1.0);
+    let inv = 1.0 / cfg.r_cut;
+    // Coefficients of the three monomials ξ^p, ξ^(p+1), ξ^(p+2).
+    let c0 = -(p + 1.0) * (p + 2.0) / 2.0;
+    let c1 = p * (p + 2.0);
+    let c2 = -p * (p + 1.0) / 2.0;
+    let mut out = [0.0f32; 4];
+    // d^k/dξ^k of ξ^e = falling(e, k) ξ^(e-k); chain rule gives inv^k.
+    for (k, o) in out.iter_mut().enumerate() {
+        let k = k as i32;
+        let term = |c: f32, e: f32| {
+            let mut fall = 1.0f32;
+            for j in 0..k {
+                fall *= e - j as f32;
+            }
+            let expo = e - k as f32;
+            if expo < 0.0 && xi == 0.0 {
+                0.0
+            } else {
+                // Exponents are integral (p, p+1, p+2 minus k); powi is
+                // several times faster than powf on the hot path.
+                c * fall * xi.powi(expo as i32)
+            }
+        };
+        let poly = term(c0, p) + term(c1, p + 1.0) + term(c2, p + 2.0);
+        *o = if k == 0 { 1.0 + poly } else { poly * inv.powi(k) };
+    }
+    out
+}
+
+/// `d^n/dr^n [ sin(w r) / r ]` for `n = 0..=order`, via the Leibniz rule:
+/// `Σ_j C(n,j) · w^j sin(wr + jπ/2) · (−1)^(n−j) (n−j)! / r^(n−j+1)`.
+fn sinc_derivs(w: f32, r: f32, order: usize, out: &mut [f32]) {
+    const HALF_PI: f32 = std::f32::consts::FRAC_PI_2;
+    let wr = w * r;
+    for (n, o) in out.iter_mut().enumerate().take(order + 1) {
+        let mut acc = 0.0f64;
+        let mut binom = 1.0f64;
+        for j in 0..=n {
+            // (n-j)-th derivative of 1/r.
+            let m = n - j;
+            let mut fact = 1.0f64;
+            for t in 1..=m {
+                fact *= t as f64;
+            }
+            let inv_r = (-1.0f64).powi(m as i32) * fact / (r as f64).powi(m as i32 + 1);
+            let sin_term = (w as f64).powi(j as i32) * ((wr + j as f32 * HALF_PI) as f64).sin();
+            acc += binom * sin_term * inv_r;
+            binom = binom * (n - j) as f64 / (j + 1) as f64;
+        }
+        *o = acc as f32;
+    }
+}
+
+/// Fused smooth-Radial-Bessel kernel: given bond lengths `r` (an `(N, 1)`
+/// column), produce the `(N, n_basis)` matrix whose entry `(i, k)` is the
+/// `order`-th derivative with respect to `r_i` of
+/// `sqrt(2/r_cut) · sin((k+1)π r_i / r_cut) / r_i · u(r_i)`.
+///
+/// # Panics
+/// Panics when `r` is not a column vector or `order > MAX_BASIS_ORDER`.
+pub fn fused_srbf(r: &Tensor, cfg: SrbfCfg, order: u8) -> Tensor {
+    assert_eq!(r.cols(), 1, "fused_srbf expects an (N,1) column of bond lengths");
+    assert!(order <= MAX_BASIS_ORDER, "basis derivative order {order} unsupported");
+    match order {
+        // Orders 0 and 1 sit on the training hot path (forward + force
+        // backward) and use a Chebyshev-style recurrence: one sin/cos per
+        // row instead of `n_basis` trig calls.
+        0 => fused_srbf_fast::<0>(r, cfg),
+        1 => fused_srbf_fast::<1>(r, cfg),
+        _ => fused_srbf_generic(r, cfg, order),
+    }
+}
+
+/// Fast path: `sin(k x)` and `cos(k x)` via the angle-addition recurrence
+/// `sin((k+1)x) = sin(kx)cos(x) + cos(kx)sin(x)` (and likewise for cos).
+fn fused_srbf_fast<const ORDER: usize>(r: &Tensor, cfg: SrbfCfg) -> Tensor {
+    let n = r.rows();
+    let nb = cfg.n_basis;
+    let norm = (2.0 / cfg.r_cut).sqrt();
+    let w1 = std::f32::consts::PI / cfg.r_cut;
+    let mut out = vec![0.0f32; n * nb];
+    for (i, &ri) in r.data().iter().enumerate() {
+        let ri = ri.max(1e-6);
+        let u = envelope_derivs(ri, cfg);
+        let inv_r = 1.0 / ri;
+        let x = w1 * ri;
+        let (sin1, cos1) = x.sin_cos();
+        let (mut s, mut c) = (sin1, cos1); // sin(kx), cos(kx) at k = 1
+        let row = &mut out[i * nb..(i + 1) * nb];
+        for (k, o) in row.iter_mut().enumerate() {
+            let w = (k as f32 + 1.0) * w1;
+            // s(r) = sin(wr)/r and, for order 1, s'(r).
+            let s0 = s * inv_r;
+            *o = if ORDER == 0 {
+                norm * s0 * u[0]
+            } else {
+                let s1 = (w * c - s0) * inv_r; // (w cos(wr) - sin(wr)/r)/r
+                norm * (s1 * u[0] + s0 * u[1])
+            };
+            // Advance to k+1.
+            let s_next = s * cos1 + c * sin1;
+            c = c * cos1 - s * sin1;
+            s = s_next;
+        }
+    }
+    Tensor::from_vec(Shape::new(n, nb), out)
+}
+
+/// Generic arbitrary-order path (orders 2-3, reached only inside double
+/// backward of the derivative-based models).
+fn fused_srbf_generic(r: &Tensor, cfg: SrbfCfg, order: u8) -> Tensor {
+    let n = r.rows();
+    let nb = cfg.n_basis;
+    let norm = (2.0 / cfg.r_cut).sqrt();
+    let order = order as usize;
+    let mut out = vec![0.0f32; n * nb];
+    let mut sder = [0.0f32; MAX_BASIS_ORDER as usize + 1];
+    for (i, &ri) in r.data().iter().enumerate() {
+        let ri = ri.max(1e-6);
+        let u = envelope_derivs(ri, cfg);
+        let row = &mut out[i * nb..(i + 1) * nb];
+        for (k, o) in row.iter_mut().enumerate() {
+            let w = (k as f32 + 1.0) * std::f32::consts::PI / cfg.r_cut;
+            sinc_derivs(w, ri, order, &mut sder);
+            // Leibniz product rule on s(r)·u(r) at the requested order.
+            let mut acc = 0.0f32;
+            let mut binom = 1.0f32;
+            for j in 0..=order {
+                acc += binom * sder[j] * u[order - j];
+                binom = binom * (order - j) as f32 / (j + 1) as f32;
+            }
+            *o = norm * acc;
+        }
+    }
+    Tensor::from_vec(Shape::new(n, nb), out)
+}
+
+/// Reference (unfused) envelope using the un-factored Eq. 12 form. Kept to
+/// validate that redundancy removal (Eq. 13) is numerically equivalent.
+pub fn envelope_reference(r: f32, cfg: SrbfCfg) -> f32 {
+    let p = cfg.p as f32;
+    let xi = (r / cfg.r_cut).clamp(0.0, 1.0);
+    1.0 - (p + 1.0) * (p + 2.0) / 2.0 * xi.powf(p)
+        + p * (p + 2.0) * xi.powf(p + 1.0)
+        - p * (p + 1.0) / 2.0 * xi.powf(p + 2.0)
+}
+
+/// Fused Fourier angular basis: given angles `theta` (an `(N, 1)` column),
+/// produce the `(N, 2K+1)` matrix
+/// `[1/√(2π), cos(kθ)/√π, sin(kθ)/√π]_{k=1..K}`, differentiated `order`
+/// times with respect to `θ` (derivatives are exact phase shifts).
+pub fn fused_fourier(theta: &Tensor, harmonics: usize, order: u8) -> Tensor {
+    assert_eq!(theta.cols(), 1, "fused_fourier expects an (N,1) column of angles");
+    const HALF_PI: f32 = std::f32::consts::FRAC_PI_2;
+    let n = theta.rows();
+    let nb = 2 * harmonics + 1;
+    let cnorm = 1.0 / std::f32::consts::PI.sqrt();
+    let dc = 1.0 / (2.0 * std::f32::consts::PI).sqrt();
+    let shift = order as f32 * HALF_PI;
+    let mut out = vec![0.0f32; n * nb];
+    for (i, &th) in theta.data().iter().enumerate() {
+        let row = &mut out[i * nb..(i + 1) * nb];
+        row[0] = if order == 0 { dc } else { 0.0 };
+        for k in 1..=harmonics {
+            let kf = k as f32;
+            let scale = cnorm * kf.powi(order as i32);
+            // d^n/dθ^n cos(kθ) = k^n cos(kθ + nπ/2); sin likewise.
+            row[k] = scale * (kf * th + shift).cos();
+            row[harmonics + k] = scale * (kf * th + shift).sin();
+        }
+    }
+    Tensor::from_vec(Shape::new(n, nb), out)
+}
+
+/// Fused GatedMLP gate: `out = sigmoid(a) ⊙ silu(b)`, one kernel instead of
+/// the reference's three (sigmoid, silu, multiply). The `silu = x·sigmoid`
+/// identity from Fig. 3(b) means only one `exp` pair is evaluated per
+/// element pair.
+pub fn fused_gate(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "fused_gate shape mismatch");
+    let mut out = vec![0.0f32; a.len()];
+    for ((o, &x), &y) in out.iter_mut().zip(a.data()).zip(b.data()) {
+        let sx = super::elementwise::sigmoid(x);
+        let sy = super::elementwise::sigmoid(y);
+        *o = sx * y * sy;
+    }
+    Tensor::from_vec(a.shape(), out)
+}
+
+/// Fused row-wise LayerNorm: per row, `(x - mean) / sqrt(var + eps)`
+/// scaled by `gamma` and shifted by `beta` (both `(1, m)` rows), in one
+/// pass. Replaces the ~10-kernel primitive chain of the reference path.
+pub fn fused_layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let m = x.cols();
+    assert_eq!(gamma.shape(), crate::shape::Shape::new(1, m), "gamma shape");
+    assert_eq!(beta.shape(), crate::shape::Shape::new(1, m), "beta shape");
+    let mut out = vec![0.0f32; x.len()];
+    let g = gamma.data();
+    let b = beta.data();
+    for (row_out, row_in) in out.chunks_mut(m).zip(x.data().chunks(m)) {
+        let mean = row_in.iter().map(|&v| v as f64).sum::<f64>() / m as f64;
+        let var = row_in.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / m as f64;
+        let inv = 1.0 / (var + eps as f64).sqrt();
+        for ((o, &v), (&gk, &bk)) in row_out.iter_mut().zip(row_in).zip(g.iter().zip(b)) {
+            *o = ((v as f64 - mean) * inv) as f32 * gk + bk;
+        }
+    }
+    Tensor::from_vec(x.shape(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: SrbfCfg = SrbfCfg { n_basis: 4, r_cut: 6.0, p: 8 };
+
+    #[test]
+    fn fused_layer_norm_normalises() {
+        let x = Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![-1.0, 0.0, 1.0, 2.0]]);
+        let gamma = Tensor::ones(1, 4);
+        let beta = Tensor::zeros(1, 4);
+        let y = fused_layer_norm(&x, &gamma, &beta, 1e-5);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+        // Affine parameters apply.
+        let gamma = Tensor::row_vec(&[2.0, 2.0, 2.0, 2.0]);
+        let beta = Tensor::row_vec(&[1.0, 1.0, 1.0, 1.0]);
+        let y2 = fused_layer_norm(&x, &gamma, &beta, 1e-5);
+        for i in 0..y.len() {
+            assert!((y2.data()[i] - (2.0 * y.data()[i] + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn horner_envelope_matches_reference() {
+        for i in 1..60 {
+            let r = 0.1 * i as f32;
+            let h = envelope_derivs(r, CFG)[0];
+            let e = envelope_reference(r, CFG);
+            assert!((h - e).abs() < 1e-5, "r={r}: horner {h} vs reference {e}");
+        }
+    }
+
+    #[test]
+    fn envelope_boundary() {
+        // u(0) = 1, u(r_cut) = 0, u'(r_cut) = 0 (smooth cutoff).
+        let u0 = envelope_derivs(0.0, CFG);
+        assert!((u0[0] - 1.0).abs() < 1e-6);
+        let uc = envelope_derivs(CFG.r_cut, CFG);
+        assert!(uc[0].abs() < 1e-5);
+        assert!(uc[1].abs() < 1e-4);
+    }
+
+    fn finite_diff_check(order: u8, tol: f32) {
+        // d/dr of order-(n) basis should match order-(n+1) basis.
+        let h = 1e-3f32;
+        for &r in &[0.8f32, 1.7, 2.9, 4.4, 5.5] {
+            let plus = fused_srbf(&Tensor::scalar(r + h), CFG, order);
+            let minus = fused_srbf(&Tensor::scalar(r - h), CFG, order);
+            let analytic = fused_srbf(&Tensor::scalar(r), CFG, order + 1);
+            for k in 0..CFG.n_basis {
+                let fd = (plus.at(0, k) - minus.at(0, k)) / (2.0 * h);
+                let an = analytic.at(0, k);
+                assert!(
+                    (fd - an).abs() <= tol * (1.0 + an.abs()),
+                    "order {order}, r={r}, k={k}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srbf_first_derivative_matches_fd() {
+        finite_diff_check(0, 2e-3);
+    }
+
+    #[test]
+    fn srbf_second_derivative_matches_fd() {
+        finite_diff_check(1, 5e-3);
+    }
+
+    #[test]
+    fn srbf_third_derivative_matches_fd() {
+        finite_diff_check(2, 2e-2);
+    }
+
+    #[test]
+    fn srbf_vanishes_at_cutoff() {
+        let b = fused_srbf(&Tensor::scalar(CFG.r_cut), CFG, 0);
+        assert!(b.max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn fourier_shape_and_constant() {
+        let th = Tensor::col_vec(&[0.3, 1.2]);
+        let f = fused_fourier(&th, 15, 0);
+        assert_eq!(f.shape(), Shape::new(2, 31));
+        assert!((f.at(0, 0) - 1.0 / (2.0 * std::f32::consts::PI).sqrt()).abs() < 1e-6);
+        // Derivative of the constant column is zero.
+        let f1 = fused_fourier(&th, 15, 1);
+        assert_eq!(f1.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fourier_derivative_matches_fd() {
+        let h = 1e-3f32;
+        for &th in &[0.4f32, 1.0, 2.2] {
+            for order in 0..=2u8 {
+                let plus = fused_fourier(&Tensor::scalar(th + h), 5, order);
+                let minus = fused_fourier(&Tensor::scalar(th - h), 5, order);
+                let an = fused_fourier(&Tensor::scalar(th), 5, order + 1);
+                for k in 0..11 {
+                    let fd = (plus.at(0, k) - minus.at(0, k)) / (2.0 * h);
+                    assert!(
+                        (fd - an.at(0, k)).abs() < 1e-2 * (1.0 + an.at(0, k).abs()),
+                        "order {order}, theta {th}, col {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_matches_composition() {
+        use crate::kernels::elementwise::{sigmoid, unary, UnKind};
+        let a = Tensor::row_vec(&[-1.0, 0.0, 2.0]);
+        let b = Tensor::row_vec(&[0.5, -2.0, 1.0]);
+        let fused = fused_gate(&a, &b);
+        let sig = unary(UnKind::Sigmoid, &a);
+        let silu = unary(UnKind::Silu, &b);
+        for i in 0..3 {
+            assert!((fused.data()[i] - sig.data()[i] * silu.data()[i]).abs() < 1e-6);
+        }
+        let _ = sigmoid(0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Row gather / concatenation / slicing kernels.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Gather rows: `out[r, :] = a[idx[r], :]`.
+///
+/// This is the message-construction primitive: selecting the features of
+/// bond endpoints (`v_i`, `v_j`) or of the bonds participating in an angle.
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn gather_rows(a: &Tensor, idx: &[u32]) -> Tensor {
+    let m = a.cols();
+    let mut out = vec![0.0f32; idx.len() * m];
+    let d = a.data();
+    for (r, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        assert!(i < a.rows(), "gather index {i} out of range ({} rows)", a.rows());
+        out[r * m..(r + 1) * m].copy_from_slice(&d[i * m..(i + 1) * m]);
+    }
+    Tensor::from_vec(Shape::new(idx.len(), m), out)
+}
+
+/// Concatenate along columns: `out = [a_0 | a_1 | ... ]`. All parts must
+/// share a row count.
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols of zero tensors");
+    let rows = parts[0].rows();
+    let total: usize = parts.iter().map(|t| t.cols()).sum();
+    let mut out = vec![0.0f32; rows * total];
+    let mut off = 0;
+    for t in parts {
+        assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+        let c = t.cols();
+        for r in 0..rows {
+            out[r * total + off..r * total + off + c].copy_from_slice(t.row(r));
+        }
+        off += c;
+    }
+    Tensor::from_vec(Shape::new(rows, total), out)
+}
+
+/// Concatenate along rows (vertical stack). All parts must share a column
+/// count. Used by Alg. 2 line 10 to assemble batched lattices/coordinates.
+pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_rows of zero tensors");
+    let cols = parts[0].cols();
+    let total: usize = parts.iter().map(|t| t.rows()).sum();
+    let mut out = Vec::with_capacity(total * cols);
+    for t in parts {
+        assert_eq!(t.cols(), cols, "concat_rows col mismatch");
+        out.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(Shape::new(total, cols), out)
+}
+
+/// Slice columns `[start, start+len)`.
+pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
+    assert!(start + len <= a.cols(), "slice_cols out of range");
+    let rows = a.rows();
+    let mut out = vec![0.0f32; rows * len];
+    for r in 0..rows {
+        out[r * len..(r + 1) * len].copy_from_slice(&a.row(r)[start..start + len]);
+    }
+    Tensor::from_vec(Shape::new(rows, len), out)
+}
+
+/// Slice rows `[start, start+len)`.
+pub fn slice_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
+    assert!(start + len <= a.rows(), "slice_rows out of range");
+    let cols = a.cols();
+    let out = a.data()[start * cols..(start + len) * cols].to_vec();
+    Tensor::from_vec(Shape::new(len, cols), out)
+}
+
+/// Scatter-add rows of `grad` into a zero tensor of `rows` rows:
+/// `out[idx[r], :] += grad[r, :]`. The VJP of [`gather_rows`].
+pub fn scatter_add_rows(grad: &Tensor, idx: &[u32], rows: usize) -> Tensor {
+    assert_eq!(grad.rows(), idx.len(), "scatter rows/idx mismatch");
+    let m = grad.cols();
+    let mut out = vec![0.0f32; rows * m];
+    for (r, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        assert!(i < rows, "scatter index {i} out of range ({rows} rows)");
+        let src = grad.row(r);
+        let dst = &mut out[i * m..(i + 1) * m];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    Tensor::from_vec(Shape::new(rows, m), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t23() -> Tensor {
+        Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn gather_basic() {
+        let g = gather_rows(&t23(), &[1, 0, 1]);
+        assert_eq!(g.shape(), Shape::new(3, 3));
+        assert_eq!(g.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_oob_panics() {
+        let _ = gather_rows(&t23(), &[2]);
+    }
+
+    #[test]
+    fn concat_and_slice_cols() {
+        let a = t23();
+        let b = Tensor::from_rows(&[vec![7.0], vec![8.0]]);
+        let c = concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), Shape::new(2, 4));
+        assert_eq!(c.row(0), &[1.0, 2.0, 3.0, 7.0]);
+        let s = slice_cols(&c, 3, 1);
+        assert!(s.approx_eq(&b, 0.0));
+        let s = slice_cols(&c, 0, 3);
+        assert!(s.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn concat_and_slice_rows() {
+        let a = t23();
+        let b = Tensor::from_rows(&[vec![7.0, 8.0, 9.0]]);
+        let c = concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), Shape::new(3, 3));
+        assert_eq!(c.row(2), &[7.0, 8.0, 9.0]);
+        assert!(slice_rows(&c, 0, 2).approx_eq(&a, 0.0));
+        assert!(slice_rows(&c, 2, 1).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn scatter_is_gather_adjoint() {
+        // <gather(a, idx), g> == <a, scatter(g, idx)>
+        let a = t23();
+        let idx = [1u32, 0, 1, 1];
+        let g = Tensor::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let ga = gather_rows(&a, &idx);
+        let sg = scatter_add_rows(&g, &idx, a.rows());
+        let lhs: f32 = ga.data().iter().zip(g.data()).map(|(x, y)| x * y).sum();
+        let rhs: f32 = a.data().iter().zip(sg.data()).map(|(x, y)| x * y).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scatter_accumulates() {
+        let g = Tensor::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let out = scatter_add_rows(&g, &[0, 0, 1], 2);
+        assert_eq!(out.data(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Dense GEMM and block-diagonal GEMM kernels.
+
+use super::PAR_THRESHOLD;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// `C = A @ B` for row-major dense matrices.
+///
+/// Uses an i-k-j loop order (cache-friendly for row-major operands) and
+/// parallelises over output rows when the problem is large enough. The
+/// feature dimensions in CHGNet are small (31–192), so a register-blocked
+/// micro-kernel buys little; memory layout dominates.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let row_kernel = |i: usize, out_row: &mut [f32]| {
+        let a_row = &ad[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, row);
+        }
+    }
+    Tensor::from_vec(crate::shape::Shape::new(m, n), out)
+}
+
+/// Block-diagonal GEMM used by the batched basis computation (Alg. 2 of the
+/// paper): each row `r` of `a` (shape `(N, 3)`) is multiplied by the 3x3
+/// block `b[3*seg[r] .. 3*seg[r]+3, :]` of the stacked per-graph matrices
+/// `b` (shape `(3*G, 3)`).
+///
+/// This reproduces line 11 of Alg. 2 ("Concatenate B_I as block diagonal
+/// matrix") without materialising the sparse block-diagonal operand.
+///
+/// # Panics
+/// Panics when shapes are inconsistent with the `(N,3) x (3G,3)` layout or
+/// when a segment id is out of range.
+pub fn block_diag_matmul(a: &Tensor, b: &Tensor, seg: &[u32]) -> Tensor {
+    assert_eq!(a.cols(), 3, "block_diag_matmul expects (N,3) lhs, got {}", a.shape());
+    assert_eq!(b.cols(), 3, "block_diag_matmul expects (3G,3) rhs, got {}", b.shape());
+    assert_eq!(b.rows() % 3, 0, "rhs rows must be a multiple of 3");
+    assert_eq!(seg.len(), a.rows(), "segment array must have one entry per lhs row");
+    let n_blocks = b.rows() / 3;
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; a.rows() * 3];
+
+    let row_kernel = |r: usize, out_row: &mut [f32]| {
+        let g = seg[r] as usize;
+        assert!(g < n_blocks, "segment id {g} out of range ({n_blocks} blocks)");
+        let blk = &bd[g * 9..g * 9 + 9];
+        let row = &ad[r * 3..r * 3 + 3];
+        for j in 0..3 {
+            out_row[j] = row[0] * blk[j] + row[1] * blk[3 + j] + row[2] * blk[6 + j];
+        }
+    };
+
+    if a.rows() * 3 >= PAR_THRESHOLD {
+        out.par_chunks_mut(3).enumerate().for_each(|(r, row)| row_kernel(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(3).enumerate() {
+            row_kernel(r, row);
+        }
+    }
+    Tensor::from_vec(crate::shape::Shape::new(a.rows(), 3), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matmul() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn rectangular_matmul() {
+        let a = Tensor::from_rows(&[vec![1.0, 0.0, 2.0]]);
+        let b = Tensor::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), crate::shape::Shape::new(1, 2));
+        assert_eq!(c.data(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn mismatched_matmul_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn block_diag_two_blocks() {
+        // Two 3x3 blocks: identity and 2*identity.
+        let mut b = Tensor::zeros(6, 3);
+        for i in 0..3 {
+            *b.at_mut(i, i) = 1.0;
+            *b.at_mut(3 + i, i) = 2.0;
+        }
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let out = block_diag_matmul(&a, &b, &[0, 1]);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn block_diag_matches_dense() {
+        // Compare against an explicitly materialised block-diagonal matmul.
+        let blk0 = Tensor::from_rows(&[
+            vec![0.5, 1.0, -1.0],
+            vec![2.0, 0.0, 0.5],
+            vec![-0.5, 1.5, 1.0],
+        ]);
+        let a = Tensor::from_rows(&[vec![1.0, -1.0, 2.0], vec![0.0, 3.0, 1.0]]);
+        let out = block_diag_matmul(&a, &blk0, &[0, 0]);
+        let dense = matmul(&a, &blk0);
+        assert!(out.approx_eq(&dense, 1e-6));
+    }
+}

@@ -1,0 +1,17 @@
+//! Raw compute kernels operating on `f32` buffers.
+//!
+//! Each public function here corresponds to "one kernel" in the paper's
+//! accounting: the tape executes exactly one kernel per node, and the
+//! profiler counts node executions to reproduce Fig. 8(b)'s launched-kernel
+//! metric. Kernels above [`PAR_THRESHOLD`] elements use rayon; below it they
+//! run sequentially to avoid fork/join overhead (the host may be 1-core).
+
+pub mod elementwise;
+pub mod fused;
+pub mod gather;
+pub mod matmul;
+pub mod reduce;
+pub mod segment;
+
+/// Minimum element count before a kernel is parallelised with rayon.
+pub const PAR_THRESHOLD: usize = 1 << 15;

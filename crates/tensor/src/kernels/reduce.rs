@@ -1,0 +1,82 @@
+//! Reduction kernels (row / column / full sums).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Axis along which a reduction collapses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Collapse rows: `(n, m) -> (1, m)`.
+    Rows,
+    /// Collapse columns: `(n, m) -> (n, 1)`.
+    Cols,
+    /// Collapse everything: `(n, m) -> (1, 1)`.
+    All,
+}
+
+impl Axis {
+    /// Output shape of reducing `input` along this axis.
+    pub fn out_shape(self, input: Shape) -> Shape {
+        match self {
+            Axis::Rows => Shape::new(1, input.cols),
+            Axis::Cols => Shape::new(input.rows, 1),
+            Axis::All => Shape::scalar(),
+        }
+    }
+}
+
+/// Sum-reduce `a` along `axis`.
+pub fn sum(a: &Tensor, axis: Axis) -> Tensor {
+    let (n, m) = (a.rows(), a.cols());
+    let d = a.data();
+    match axis {
+        Axis::Rows => {
+            let mut out = vec![0.0f32; m];
+            for r in 0..n {
+                let row = &d[r * m..(r + 1) * m];
+                for (o, &x) in out.iter_mut().zip(row) {
+                    *o += x;
+                }
+            }
+            Tensor::from_vec(Shape::new(1, m), out)
+        }
+        Axis::Cols => {
+            let mut out = vec![0.0f32; n];
+            for (r, o) in out.iter_mut().enumerate() {
+                // f64 accumulator: column sums feed LayerNorm statistics.
+                *o = d[r * m..(r + 1) * m].iter().map(|&x| x as f64).sum::<f64>() as f32;
+            }
+            Tensor::from_vec(Shape::new(n, 1), out)
+        }
+        Axis::All => Tensor::scalar(d.iter().map(|&x| x as f64).sum::<f64>() as f32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(sum(&t, Axis::Rows).data(), &[4.0, 6.0]);
+        assert_eq!(sum(&t, Axis::Cols).data(), &[3.0, 7.0]);
+        assert_eq!(sum(&t, Axis::All).item(), 10.0);
+    }
+
+    #[test]
+    fn out_shapes() {
+        let s = Shape::new(5, 3);
+        assert_eq!(Axis::Rows.out_shape(s), Shape::new(1, 3));
+        assert_eq!(Axis::Cols.out_shape(s), Shape::new(5, 1));
+        assert_eq!(Axis::All.out_shape(s), Shape::scalar());
+    }
+
+    #[test]
+    fn empty_rows() {
+        let t = Tensor::zeros(0, 4);
+        assert_eq!(sum(&t, Axis::Rows).data(), &[0.0; 4]);
+        assert_eq!(sum(&t, Axis::Cols).len(), 0);
+        assert_eq!(sum(&t, Axis::All).item(), 0.0);
+    }
+}

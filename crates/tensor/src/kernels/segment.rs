@@ -1,0 +1,95 @@
+//! Segment reduction kernels.
+//!
+//! Segment sums are the aggregation primitive of message passing (Eq. 1 of
+//! the paper): messages on bonds are scatter-added into their central atom,
+//! per-atom energies are scatter-added into their graph's total energy, and
+//! so on. Segments are described by an arbitrary `u32` id per row (ids need
+//! not be sorted).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Segment sum over rows: `out[seg[r], :] += a[r, :]`, output has `nseg`
+/// rows.
+///
+/// # Panics
+/// Panics when `seg.len() != a.rows()` or an id is `>= nseg`.
+pub fn segment_sum(a: &Tensor, seg: &[u32], nseg: usize) -> Tensor {
+    assert_eq!(seg.len(), a.rows(), "segment array length mismatch");
+    let m = a.cols();
+    let mut out = vec![0.0f32; nseg * m];
+    let d = a.data();
+    for (r, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        assert!(s < nseg, "segment id {s} out of range ({nseg} segments)");
+        let src = &d[r * m..(r + 1) * m];
+        let dst = &mut out[s * m..(s + 1) * m];
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += x;
+        }
+    }
+    Tensor::from_vec(Shape::new(nseg, m), out)
+}
+
+/// Per-segment row counts as an `(nseg, 1)` tensor. Useful for segment
+/// means (e.g. per-atom energy normalisation).
+pub fn segment_counts(seg: &[u32], nseg: usize) -> Tensor {
+    let mut out = vec![0.0f32; nseg];
+    for &s in seg {
+        out[s as usize] += 1.0;
+    }
+    Tensor::from_vec(Shape::new(nseg, 1), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gather::gather_rows;
+
+    #[test]
+    fn basic_segment_sum() {
+        let a = Tensor::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 0.0],
+            vec![3.0, 1.0],
+            vec![4.0, 0.0],
+        ]);
+        let out = segment_sum(&a, &[0, 1, 0, 2], 3);
+        assert_eq!(out.row(0), &[4.0, 2.0]);
+        assert_eq!(out.row(1), &[2.0, 0.0]);
+        assert_eq!(out.row(2), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_segment_is_zero() {
+        let a = Tensor::from_rows(&[vec![5.0]]);
+        let out = segment_sum(&a, &[2], 4);
+        assert_eq!(out.data(), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn counts() {
+        let c = segment_counts(&[0, 0, 2, 2, 2], 3);
+        assert_eq!(c.data(), &[2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_sum_is_gather_adjoint() {
+        // <segsum(a, seg), g> == <a, gather(g, seg)>
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let seg = [1u32, 0, 1];
+        let g = Tensor::from_rows(&[vec![0.5, -1.0], vec![2.0, 1.0]]);
+        let ss = segment_sum(&a, &seg, 2);
+        let gg = gather_rows(&g, &seg);
+        let lhs: f32 = ss.data().iter().zip(g.data()).map(|(x, y)| x * y).sum();
+        let rhs: f32 = a.data().iter().zip(gg.data()).map(|(x, y)| x * y).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_segment_panics() {
+        let a = Tensor::ones(1, 1);
+        let _ = segment_sum(&a, &[3], 2);
+    }
+}

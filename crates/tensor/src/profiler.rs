@@ -1,0 +1,154 @@
+//! Kernel-launch and memory accounting.
+//!
+//! The paper evaluates its system optimizations by three metrics
+//! (Fig. 8): average iteration time, number of launched kernels, and GPU
+//! memory usage. This profiler reproduces the latter two on the simulated
+//! device: every tape node executed counts as one launched kernel, and
+//! every live node buffer counts toward device memory, including the
+//! first-order gradient graph retained by `create_graph` backward passes
+//! (which is exactly the memory the Force/Stress heads eliminate).
+
+use std::cell::Cell;
+
+/// Per-device profiler. Cheap `Cell` counters; the tape is single-threaded
+/// per simulated device.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    kernels: Cell<u64>,
+    bytes_live: Cell<u64>,
+    bytes_peak: Cell<u64>,
+    fused_kernels: Cell<u64>,
+}
+
+/// A snapshot of profiler counters, used to report per-iteration deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileSnapshot {
+    /// Total kernels launched so far.
+    pub kernels: u64,
+    /// Kernels that were fused ops.
+    pub fused_kernels: u64,
+    /// Live buffer bytes.
+    pub bytes_live: u64,
+    /// Peak live bytes observed.
+    pub bytes_peak: u64,
+}
+
+impl Profiler {
+    /// Fresh profiler with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one kernel launch.
+    #[inline]
+    pub fn record_kernel(&self, fused: bool) {
+        self.kernels.set(self.kernels.get() + 1);
+        if fused {
+            self.fused_kernels.set(self.fused_kernels.get() + 1);
+        }
+    }
+
+    /// Record allocation of a node buffer.
+    #[inline]
+    pub fn alloc(&self, bytes: u64) {
+        let live = self.bytes_live.get() + bytes;
+        self.bytes_live.set(live);
+        if live > self.bytes_peak.get() {
+            self.bytes_peak.set(live);
+        }
+    }
+
+    /// Record release of a node buffer.
+    #[inline]
+    pub fn free(&self, bytes: u64) {
+        self.bytes_live.set(self.bytes_live.get().saturating_sub(bytes));
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            kernels: self.kernels.get(),
+            fused_kernels: self.fused_kernels.get(),
+            bytes_live: self.bytes_live.get(),
+            bytes_peak: self.bytes_peak.get(),
+        }
+    }
+
+    /// Reset the peak-tracking to the current live level (e.g. at the start
+    /// of an iteration) without touching kernel counts.
+    pub fn reset_peak(&self) {
+        self.bytes_peak.set(self.bytes_live.get());
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.kernels.set(0);
+        self.fused_kernels.set(0);
+        self.bytes_live.set(0);
+        self.bytes_peak.set(0);
+    }
+}
+
+impl ProfileSnapshot {
+    /// Counter deltas `self - earlier` (kernels and peak are monotone).
+    pub fn delta(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        ProfileSnapshot {
+            kernels: self.kernels - earlier.kernels,
+            fused_kernels: self.fused_kernels - earlier.fused_kernels,
+            bytes_live: self.bytes_live,
+            bytes_peak: self.bytes_peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_counting() {
+        let p = Profiler::new();
+        p.record_kernel(false);
+        p.record_kernel(true);
+        p.record_kernel(true);
+        let s = p.snapshot();
+        assert_eq!(s.kernels, 3);
+        assert_eq!(s.fused_kernels, 2);
+    }
+
+    #[test]
+    fn memory_tracking() {
+        let p = Profiler::new();
+        p.alloc(100);
+        p.alloc(50);
+        assert_eq!(p.snapshot().bytes_peak, 150);
+        p.free(100);
+        assert_eq!(p.snapshot().bytes_live, 50);
+        assert_eq!(p.snapshot().bytes_peak, 150);
+        p.reset_peak();
+        assert_eq!(p.snapshot().bytes_peak, 50);
+        p.alloc(10);
+        assert_eq!(p.snapshot().bytes_peak, 60);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let p = Profiler::new();
+        p.alloc(10);
+        p.free(100);
+        assert_eq!(p.snapshot().bytes_live, 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let p = Profiler::new();
+        p.record_kernel(false);
+        let a = p.snapshot();
+        p.record_kernel(false);
+        p.record_kernel(true);
+        let b = p.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.kernels, 2);
+        assert_eq!(d.fused_kernels, 1);
+    }
+}

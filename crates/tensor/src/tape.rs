@@ -1,0 +1,655 @@
+//! The autodiff tape: a dynamically built computation graph.
+//!
+//! One `Tape` models one simulated GPU stream: nodes are appended in
+//! topological order, each node executes exactly one kernel, and the
+//! attached [`Profiler`] counts launches and live bytes. A tape lives for
+//! one training iteration and is [`Tape::reset`] afterwards.
+
+use crate::kernels::elementwise::{self, BinKind, UnKind};
+use crate::kernels::fused::{self, SrbfCfg};
+use crate::kernels::gather as gk;
+use crate::kernels::matmul as mk;
+use crate::kernels::reduce::{self, Axis};
+use crate::kernels::segment as sk;
+use crate::op::{Op, Var, VarId};
+use crate::param::{ParamId, ParamStore};
+use crate::profiler::Profiler;
+use crate::shape::{broadcast_shape, Bcast, Shape};
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub(crate) struct Node {
+    pub op: Op,
+    pub value: Tensor,
+    /// Whether any gradient flows into this node.
+    pub rg: bool,
+}
+
+/// The autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    profiler: Profiler,
+    /// Cache of param-id -> injected Var for the current iteration.
+    param_cache: RefCell<Vec<Option<Var>>>,
+}
+
+impl Tape {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The profiler attached to this tape.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> Shape {
+        self.nodes.borrow()[v.0 as usize].value.shape()
+    }
+
+    /// Clone out a node's value.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0 as usize].value.clone()
+    }
+
+    /// Read a node's value through a closure without cloning.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[v.0 as usize].value)
+    }
+
+    /// Whether gradient flows into this node.
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.0 as usize].rg
+    }
+
+    /// Drop all nodes after `len` (releasing their buffers from the memory
+    /// accounting). Used to discard an ephemeral backward sub-graph.
+    pub fn truncate(&self, len: usize) {
+        let mut nodes = self.nodes.borrow_mut();
+        while nodes.len() > len {
+            let n = nodes.pop().expect("truncate underflow");
+            self.profiler.free(n.value.len() as u64 * 4);
+        }
+    }
+
+    /// Clear the tape completely (end of iteration). Keeps kernel counters;
+    /// zeroes the live-byte gauge and the parameter cache.
+    pub fn reset(&self) {
+        self.truncate(0);
+        self.param_cache.borrow_mut().clear();
+    }
+
+    pub(crate) fn push(&self, op: Op, value: Tensor, rg: bool) -> Var {
+        self.profiler.record_kernel(op.is_fused());
+        self.profiler.alloc(value.len() as u64 * 4);
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len() as VarId;
+        nodes.push(Node { op, value, rg });
+        Var(id)
+    }
+
+    fn rg_of(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.0 as usize].rg
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// Constant input (no gradient).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value, false)
+    }
+
+    /// Differentiable input (positions / strain). Gradients w.r.t. this
+    /// node can be requested from `backward`.
+    pub fn input(&self, value: Tensor) -> Var {
+        self.push(Op::DiffLeaf, value, true)
+    }
+
+    /// Convenience scalar constant.
+    pub fn scalar(&self, value: f32) -> Var {
+        self.constant(Tensor::scalar(value))
+    }
+
+    /// Inject a trainable parameter (cached: repeated calls for the same id
+    /// return the same node).
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
+        {
+            let cache = self.param_cache.borrow();
+            if let Some(Some(v)) = cache.get(id.index()) {
+                return *v;
+            }
+        }
+        let v = self.push(Op::Param(id), store.value(id).clone(), true);
+        let mut cache = self.param_cache.borrow_mut();
+        if cache.len() <= id.index() {
+            cache.resize(id.index() + 1, None);
+        }
+        cache[id.index()] = Some(v);
+        v
+    }
+
+    /// Iterate over the (param-id, var) pairs injected so far.
+    pub fn injected_params(&self) -> Vec<(ParamId, Var)> {
+        self.param_cache
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (ParamId(i), v)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------- unary ops
+
+    pub(crate) fn unary(&self, kind: UnKind, a: Var) -> Var {
+        let value = self.with_value(a, |t| elementwise::unary(kind, t));
+        self.push(Op::Un { kind, a: a.0 }, value, self.rg_of(a))
+    }
+
+    /// `-a`
+    pub fn neg(&self, a: Var) -> Var {
+        self.unary(UnKind::Neg, a)
+    }
+    /// `exp(a)`
+    pub fn exp(&self, a: Var) -> Var {
+        self.unary(UnKind::Exp, a)
+    }
+    /// `ln(a)`
+    pub fn ln(&self, a: Var) -> Var {
+        self.unary(UnKind::Ln, a)
+    }
+    /// `sqrt(a)`
+    pub fn sqrt(&self, a: Var) -> Var {
+        self.unary(UnKind::Sqrt, a)
+    }
+    /// `sin(a)`
+    pub fn sin(&self, a: Var) -> Var {
+        self.unary(UnKind::Sin, a)
+    }
+    /// `cos(a)`
+    pub fn cos(&self, a: Var) -> Var {
+        self.unary(UnKind::Cos, a)
+    }
+    /// `arccos(a)` with inputs clamped to `[-1, 1]`.
+    pub fn arccos(&self, a: Var) -> Var {
+        self.unary(UnKind::Arccos, a)
+    }
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.unary(UnKind::Sigmoid, a)
+    }
+    /// SiLU activation `a * sigmoid(a)`.
+    pub fn silu(&self, a: Var) -> Var {
+        self.unary(UnKind::Silu, a)
+    }
+    /// `tanh(a)`
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(UnKind::Tanh, a)
+    }
+    /// `1 / a`
+    pub fn recip(&self, a: Var) -> Var {
+        self.unary(UnKind::Recip, a)
+    }
+    /// `a^2`
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(UnKind::Square, a)
+    }
+    /// `|a|`
+    pub fn abs(&self, a: Var) -> Var {
+        self.unary(UnKind::Abs, a)
+    }
+    /// `sign(a)` (derivative treated as zero).
+    pub fn sign(&self, a: Var) -> Var {
+        self.unary(UnKind::Sign, a)
+    }
+    /// `a^n` for integer n.
+    pub fn powi(&self, a: Var, n: i32) -> Var {
+        self.unary(UnKind::Powi(n), a)
+    }
+    /// `c * a`
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        self.unary(UnKind::Scale(c), a)
+    }
+    /// `a + c`
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(UnKind::AddScalar(c), a)
+    }
+    /// `min(a, c)` (derivative 0 above the clamp).
+    pub fn clamp_max(&self, a: Var, c: f32) -> Var {
+        self.unary(UnKind::ClampMax(c), a)
+    }
+    /// Indicator `a < c` (derivative treated as zero).
+    pub fn lt_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(UnKind::LtScalar(c), a)
+    }
+
+    /// `clamp(a, lo, hi)` (derivative 1 strictly inside the interval).
+    pub fn clamp(&self, a: Var, lo: f32, hi: f32) -> Var {
+        assert!(lo < hi, "empty clamp interval [{lo}, {hi}]");
+        self.unary(UnKind::Clamp(lo, hi), a)
+    }
+
+    // ------------------------------------------------------------ binary ops
+
+    fn binary(&self, kind: BinKind, a: Var, b: Var) -> Var {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        let out = broadcast_shape(sa, sb)
+            .unwrap_or_else(|| panic!("incompatible shapes {sa} and {sb} for {kind:?}"));
+        let ba = Bcast::resolve(sa, out).expect("lhs broadcast");
+        let bb = Bcast::resolve(sb, out).expect("rhs broadcast");
+        let value = {
+            let nodes = self.nodes.borrow();
+            elementwise::binary(kind, &nodes[a.0 as usize].value, ba, &nodes[b.0 as usize].value, bb, out)
+        };
+        let rg = self.rg_of(a) || self.rg_of(b);
+        self.push(Op::Bin { kind, a: a.0, ba, b: b.0, bb }, value, rg)
+    }
+
+    /// `a + b` (broadcasting).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(BinKind::Add, a, b)
+    }
+    /// `a - b` (broadcasting).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(BinKind::Sub, a, b)
+    }
+    /// `a ⊙ b` (broadcasting Hadamard product).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(BinKind::Mul, a, b)
+    }
+    /// `a / b` (broadcasting).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        self.binary(BinKind::Div, a, b)
+    }
+
+    // ------------------------------------------------------ structured ops
+
+    /// Dense GEMM `a @ b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            mk::matmul(&nodes[a.0 as usize].value, &nodes[b.0 as usize].value)
+        };
+        let rg = self.rg_of(a) || self.rg_of(b);
+        self.push(Op::Matmul { a: a.0, b: b.0 }, value, rg)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let value = self.with_value(a, Tensor::transposed);
+        self.push(Op::Transpose { a: a.0 }, value, self.rg_of(a))
+    }
+
+    /// Sum along an axis.
+    pub fn sum(&self, a: Var, axis: Axis) -> Var {
+        let value = self.with_value(a, |t| reduce::sum(t, axis));
+        self.push(Op::Sum { a: a.0, axis }, value, self.rg_of(a))
+    }
+
+    /// Sum of every element, as a scalar node.
+    pub fn sum_all(&self, a: Var) -> Var {
+        self.sum(a, Axis::All)
+    }
+
+    /// Mean of every element, as a scalar node.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let n = self.shape(a).len().max(1);
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n as f32)
+    }
+
+    /// Broadcast `a` up to `shape`.
+    pub fn broadcast_to(&self, a: Var, shape: Shape) -> Var {
+        let sa = self.shape(a);
+        if sa == shape {
+            return a;
+        }
+        let bc = Bcast::resolve(sa, shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {sa} to {shape}"));
+        let value = self.with_value(a, |t| {
+            let mut out = Tensor::zeros(shape.rows, shape.cols);
+            for r in 0..shape.rows {
+                for c in 0..shape.cols {
+                    *out.at_mut(r, c) = t.data()[bc.index(r, c, shape.cols)];
+                }
+            }
+            out
+        });
+        self.push(Op::BroadcastTo { a: a.0, shape }, value, self.rg_of(a))
+    }
+
+    /// Gather rows by index.
+    pub fn gather(&self, a: Var, idx: Arc<[u32]>) -> Var {
+        let value = self.with_value(a, |t| gk::gather_rows(t, &idx));
+        self.push(Op::Gather { a: a.0, idx }, value, self.rg_of(a))
+    }
+
+    /// Segment sum over rows (scatter-add aggregation, Eq. 1).
+    pub fn segment_sum(&self, a: Var, seg: Arc<[u32]>, nseg: usize) -> Var {
+        let value = self.with_value(a, |t| sk::segment_sum(t, &seg, nseg));
+        self.push(Op::SegSum { a: a.0, seg, nseg }, value, self.rg_of(a))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let refs: Vec<&Tensor> = parts.iter().map(|p| &nodes[p.0 as usize].value).collect();
+            gk::concat_cols(&refs)
+        };
+        let rg = parts.iter().any(|p| self.rg_of(*p));
+        let ids: Box<[VarId]> = parts.iter().map(|p| p.0).collect();
+        self.push(Op::ConcatCols { parts: ids }, value, rg)
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(&self, parts: &[Var]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let refs: Vec<&Tensor> = parts.iter().map(|p| &nodes[p.0 as usize].value).collect();
+            gk::concat_rows(&refs)
+        };
+        let rg = parts.iter().any(|p| self.rg_of(*p));
+        let ids: Box<[VarId]> = parts.iter().map(|p| p.0).collect();
+        self.push(Op::ConcatRows { parts: ids }, value, rg)
+    }
+
+    /// Column slice.
+    pub fn slice_cols(&self, a: Var, start: usize, len: usize) -> Var {
+        let value = self.with_value(a, |t| gk::slice_cols(t, start, len));
+        self.push(Op::SliceCols { a: a.0, start, len }, value, self.rg_of(a))
+    }
+
+    /// Row slice.
+    pub fn slice_rows(&self, a: Var, start: usize, len: usize) -> Var {
+        let value = self.with_value(a, |t| gk::slice_rows(t, start, len));
+        self.push(Op::SliceRows { a: a.0, start, len }, value, self.rg_of(a))
+    }
+
+    /// Place `a` into a zero matrix with `total` columns at column `start`.
+    pub fn pad_cols(&self, a: Var, start: usize, total: usize) -> Var {
+        let value = self.with_value(a, |t| {
+            assert!(start + t.cols() <= total, "pad_cols out of range");
+            let mut out = Tensor::zeros(t.rows(), total);
+            for r in 0..t.rows() {
+                out.row_mut(r)[start..start + t.cols()].copy_from_slice(t.row(r));
+            }
+            out
+        });
+        self.push(Op::PadCols { a: a.0, start, total }, value, self.rg_of(a))
+    }
+
+    /// Place `a` into a zero matrix with `total` rows at row `start`.
+    pub fn pad_rows(&self, a: Var, start: usize, total: usize) -> Var {
+        let value = self.with_value(a, |t| {
+            assert!(start + t.rows() <= total, "pad_rows out of range");
+            let mut out = Tensor::zeros(total, t.cols());
+            for r in 0..t.rows() {
+                out.row_mut(start + r).copy_from_slice(t.row(r));
+            }
+            out
+        });
+        self.push(Op::PadRows { a: a.0, start, total }, value, self.rg_of(a))
+    }
+
+    /// Row-major reshape (same element count, zero-copy semantics; the
+    /// kernel clones the buffer so memory accounting stays per-node).
+    pub fn reshape(&self, a: Var, rows: usize, cols: usize) -> Var {
+        let shape = Shape::new(rows, cols);
+        let sa = self.shape(a);
+        assert_eq!(sa.len(), shape.len(), "reshape {sa} to {shape} changes element count");
+        if sa == shape {
+            return a;
+        }
+        let value = self.with_value(a, |t| Tensor::from_vec(shape, t.data().to_vec()));
+        self.push(Op::Reshape { a: a.0, shape }, value, self.rg_of(a))
+    }
+
+    /// Per-row block-diagonal GEMM: `out[r,:] = a[r,:] @ B_{seg[r]}` where
+    /// `b` stacks 3x3 blocks vertically. With `trans_b`, uses the
+    /// transposed block. This is Alg. 2's batched `B_I @ B_L`.
+    pub fn block_diag_matmul(&self, a: Var, b: Var, seg: Arc<[u32]>, trans_b: bool) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let bt = &nodes[b.0 as usize].value;
+            let eff = if trans_b { transpose_blocks(bt) } else { bt.clone() };
+            mk::block_diag_matmul(&nodes[a.0 as usize].value, &eff, &seg)
+        };
+        let rg = self.rg_of(a) || self.rg_of(b);
+        self.push(Op::BlockDiagMm { a: a.0, b: b.0, seg, trans_b }, value, rg)
+    }
+
+    // ------------------------------------------------------------- fused ops
+
+    /// Fused smooth-Radial-Bessel basis (order-`order` derivative).
+    pub fn fused_srbf(&self, r: Var, cfg: SrbfCfg, order: u8) -> Var {
+        let value = self.with_value(r, |t| fused::fused_srbf(t, cfg, order));
+        self.push(Op::FusedSrbf { r: r.0, cfg, order }, value, self.rg_of(r))
+    }
+
+    /// Fused Fourier angular basis (order-`order` derivative).
+    pub fn fused_fourier(&self, theta: Var, harmonics: usize, order: u8) -> Var {
+        let value = self.with_value(theta, |t| fused::fused_fourier(t, harmonics, order));
+        self.push(Op::FusedFourier { theta: theta.0, harmonics, order }, value, self.rg_of(theta))
+    }
+
+    /// Fused row-wise LayerNorm (one kernel; the composed
+    /// [`Tape::layer_norm`] chain is the reference path).
+    pub fn fused_layer_norm(&self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            fused::fused_layer_norm(
+                &nodes[a.0 as usize].value,
+                &nodes[gamma.0 as usize].value,
+                &nodes[beta.0 as usize].value,
+                eps,
+            )
+        };
+        let rg = self.rg_of(a) || self.rg_of(gamma) || self.rg_of(beta);
+        self.push(Op::FusedLayerNorm { a: a.0, gamma: gamma.0, beta: beta.0, eps }, value, rg)
+    }
+
+    /// Fused gate `sigmoid(a) ⊙ silu(b)`.
+    pub fn fused_gate(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            fused::fused_gate(&nodes[a.0 as usize].value, &nodes[b.0 as usize].value)
+        };
+        let rg = self.rg_of(a) || self.rg_of(b);
+        self.push(Op::FusedGate { a: a.0, b: b.0 }, value, rg)
+    }
+
+    // ------------------------------------------------------- composed helpers
+
+    /// Elementwise Huber-like penalty with threshold `delta`:
+    /// `q(|x|) where q(a) = min(a, δ)·(a − min(a, δ)/2)` — equals
+    /// `x²/2` for `|x| ≤ δ` and `δ(|x| − δ/2)` beyond. Matches PyTorch's
+    /// `HuberLoss` up to the global `1/δ` convention used by CHGNet.
+    pub fn huber(&self, x: Var, delta: f32) -> Var {
+        let a = self.abs(x);
+        let q = self.clamp_max(a, delta);
+        let half_q = self.scale(q, 0.5);
+        let lin = self.sub(a, half_q);
+        self.mul(q, lin)
+    }
+
+    /// Row-wise LayerNorm with learnable `gamma`/`beta` rows `(1, m)`.
+    /// Composed from primitives so that its VJP (and double backward) is
+    /// derived automatically.
+    pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let m = self.shape(x).cols.max(1);
+        let mean = self.scale(self.sum(x, Axis::Cols), 1.0 / m as f32);
+        let centered = self.sub(x, mean);
+        let var = self.scale(self.sum(self.square(centered), Axis::Cols), 1.0 / m as f32);
+        let inv_std = self.recip(self.sqrt(self.add_scalar(var, eps)));
+        let xhat = self.mul(centered, inv_std);
+        let scaled = self.mul(xhat, gamma);
+        self.add(scaled, beta)
+    }
+
+    /// Fully-connected layer `x @ w + b` with `b` a `(1, out)` row.
+    pub fn linear(&self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add(xw, b)
+    }
+}
+
+/// Transpose each 3x3 block of a stacked `(3G, 3)` matrix.
+fn transpose_blocks(b: &Tensor) -> Tensor {
+    assert_eq!(b.cols(), 3);
+    assert_eq!(b.rows() % 3, 0);
+    let mut out = Tensor::zeros(b.rows(), 3);
+    for g in 0..b.rows() / 3 {
+        for i in 0..3 {
+            for j in 0..3 {
+                *out.at_mut(g * 3 + i, j) = b.at(g * 3 + j, i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_arith() {
+        let t = Tape::new();
+        let a = t.constant(Tensor::row_vec(&[1.0, 2.0]));
+        let b = t.constant(Tensor::row_vec(&[3.0, 4.0]));
+        let c = t.add(a, b);
+        assert_eq!(t.value(c).data(), &[4.0, 6.0]);
+        let d = t.mul(c, c);
+        assert_eq!(t.value(d).data(), &[16.0, 36.0]);
+        assert!(!t.requires_grad(d));
+    }
+
+    #[test]
+    fn rg_propagation() {
+        let t = Tape::new();
+        let x = t.input(Tensor::scalar(2.0));
+        let c = t.scalar(3.0);
+        let y = t.mul(x, c);
+        assert!(t.requires_grad(y));
+        assert!(!t.requires_grad(c));
+    }
+
+    #[test]
+    fn param_injection_cached() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::ones(2, 2));
+        let t = Tape::new();
+        let v1 = t.param(&store, id);
+        let v2 = t.param(&store, id);
+        assert_eq!(v1, v2);
+        assert_eq!(t.injected_params().len(), 1);
+    }
+
+    #[test]
+    fn profiler_counts_nodes_and_bytes() {
+        let t = Tape::new();
+        let a = t.constant(Tensor::zeros(10, 10));
+        let _b = t.neg(a);
+        let s = t.profiler().snapshot();
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.bytes_live, 800);
+        t.truncate(1);
+        assert_eq!(t.profiler().snapshot().bytes_live, 400);
+        t.reset();
+        assert_eq!(t.profiler().snapshot().bytes_live, 0);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn broadcast_add_col() {
+        let t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let col = t.constant(Tensor::col_vec(&[10.0, 20.0]));
+        let out = t.add(a, col);
+        assert_eq!(t.value(out).data(), &[11.0, 12.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn linear_and_layernorm_shapes() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::ones(4, 3));
+        let w = t.constant(Tensor::ones(3, 5));
+        let b = t.constant(Tensor::zeros(1, 5));
+        let y = t.linear(x, w, b);
+        assert_eq!(t.shape(y), Shape::new(4, 5));
+        let gamma = t.constant(Tensor::ones(1, 5));
+        let beta = t.constant(Tensor::zeros(1, 5));
+        let ln = t.layer_norm(y, gamma, beta, 1e-5);
+        assert_eq!(t.shape(ln), Shape::new(4, 5));
+        // Constant rows normalise to zero.
+        assert!(t.value(ln).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn huber_values() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::row_vec(&[0.5, 2.0, -3.0]));
+        let h = t.huber(x, 1.0);
+        let v = t.value(h);
+        assert!((v.data()[0] - 0.125).abs() < 1e-6); // 0.5*0.25
+        assert!((v.data()[1] - 1.5).abs() < 1e-6); // 2 - 0.5
+        assert!((v.data()[2] - 2.5).abs() < 1e-6); // 3 - 0.5
+    }
+
+    #[test]
+    fn pad_and_slice_inverse() {
+        let t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let p = t.pad_cols(a, 1, 4);
+        assert_eq!(t.value(p).row(0), &[0.0, 1.0, 2.0, 0.0]);
+        let s = t.slice_cols(p, 1, 2);
+        assert!(t.value(s).approx_eq(&t.value(a), 0.0));
+        let pr = t.pad_rows(a, 1, 4);
+        assert_eq!(t.value(pr).row(0), &[0.0, 0.0]);
+        assert_eq!(t.value(pr).row(1), &[1.0, 2.0]);
+        let sr = t.slice_rows(pr, 1, 2);
+        assert!(t.value(sr).approx_eq(&t.value(a), 0.0));
+    }
+
+    #[test]
+    fn block_diag_transposed() {
+        let t = Tape::new();
+        let blk = Tensor::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let a = t.constant(Tensor::from_rows(&[vec![1.0, 1.0, 1.0]]));
+        let b = t.constant(blk.clone());
+        let seg: Arc<[u32]> = Arc::from(vec![0u32]);
+        let fwd = t.block_diag_matmul(a, b, seg.clone(), false);
+        assert_eq!(t.value(fwd).row(0), &[1.0, 3.0, 1.0]);
+        let tr = t.block_diag_matmul(a, b, seg, true);
+        assert_eq!(t.value(tr).row(0), &[3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn broadcast_to_and_back() {
+        let t = Tape::new();
+        let a = t.constant(Tensor::col_vec(&[1.0, 2.0]));
+        let b = t.broadcast_to(a, Shape::new(2, 3));
+        assert_eq!(t.value(b).row(1), &[2.0, 2.0, 2.0]);
+        // broadcast to same shape is the identity node.
+        let same = t.broadcast_to(a, Shape::new(2, 1));
+        assert_eq!(same, a);
+    }
+}

@@ -1,0 +1,166 @@
+//! Gradient all-reduce: a real ring algorithm over simulated devices plus
+//! the α-β communication cost model used by the cluster clock.
+
+/// Ring all-reduce over `p` equally-shaped buffers: after the call every
+/// buffer holds the elementwise **sum**. This is the textbook
+/// reduce-scatter + all-gather ring executed faithfully (p-1 + p-1 steps
+/// over p chunks), time-multiplexed onto the host.
+pub fn ring_all_reduce(buffers: &mut [Vec<f32>]) {
+    let p = buffers.len();
+    if p <= 1 {
+        return;
+    }
+    let n = buffers[0].len();
+    assert!(buffers.iter().all(|b| b.len() == n), "ragged all-reduce buffers");
+    if n == 0 {
+        return;
+    }
+    // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+    let bounds: Vec<usize> = (0..=p).map(|c| c * n / p).collect();
+
+    // Reduce-scatter: at step s, device d sends chunk (d - s) to d+1.
+    for s in 0..p - 1 {
+        for d in 0..p {
+            let src = d;
+            let dst = (d + 1) % p;
+            let c = (d + p - s) % p;
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            // dst += src over the chunk. Split borrows via split_at_mut on
+            // the outer slice.
+            let (a, b) = if src < dst {
+                let (l, r) = buffers.split_at_mut(dst);
+                (&l[src][lo..hi], &mut r[0][lo..hi])
+            } else {
+                let (l, r) = buffers.split_at_mut(src);
+                let dst_ref = &mut l[dst];
+                // Need src immutable from r[0].
+                (&r[0][lo..hi], &mut dst_ref[lo..hi])
+            };
+            for (y, &x) in b.iter_mut().zip(a) {
+                *y += x;
+            }
+        }
+    }
+    // All-gather: chunk c is now complete on device (c + p - 1) % p... After
+    // p-1 reduce-scatter steps, device d owns the full sum of chunk
+    // (d + 1) % p. Circulate the owned chunks around the ring.
+    for s in 0..p - 1 {
+        for d in 0..p {
+            let src = d;
+            let dst = (d + 1) % p;
+            let c = (d + 1 + p - s) % p;
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            let (a, b) = if src < dst {
+                let (l, r) = buffers.split_at_mut(dst);
+                (&l[src][lo..hi], &mut r[0][lo..hi])
+            } else {
+                let (l, r) = buffers.split_at_mut(src);
+                let dst_ref = &mut l[dst];
+                (&r[0][lo..hi], &mut dst_ref[lo..hi])
+            };
+            b.copy_from_slice(a);
+        }
+    }
+}
+
+/// α-β cost model of a ring all-reduce on the cluster interconnect, with
+/// the paper's communication-overlap optimization expressed as the
+/// fraction of communication hidden behind the backward pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommModel {
+    /// Per-link bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-step latency in seconds (α term).
+    pub latency: f64,
+    /// Fraction of all-reduce time overlapped with computation (§III-C
+    /// "Communication Overlap"); 0 = fully exposed, 1 = fully hidden.
+    pub overlap: f64,
+}
+
+impl CommModel {
+    /// Defaults loosely calibrated to an NVLink/IB fat-tree A100 cluster:
+    /// 60 GB/s effective per-link bandwidth, 30 µs per ring step, 60% of
+    /// communication overlapped with the tail of backward.
+    pub fn a100_fat_tree() -> Self {
+        CommModel { bandwidth: 60e9, latency: 30e-6, overlap: 0.6 }
+    }
+
+    /// Raw ring all-reduce time for `bytes` over `p` devices:
+    /// `2 (p-1)/p · bytes / BW + 2 (p-1) · α`.
+    pub fn allreduce_time(&self, bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        2.0 * (pf - 1.0) / pf * bytes as f64 / self.bandwidth + 2.0 * (pf - 1.0) * self.latency
+    }
+
+    /// Communication time left visible on the critical path after overlap.
+    pub fn exposed_time(&self, bytes: usize, p: usize) -> f64 {
+        self.allreduce_time(bytes, p) * (1.0 - self.overlap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_buffers(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    fn check_allreduce(p: usize, n: usize) {
+        let mut bufs = random_buffers(p, n, p as u64 * 31 + n as u64);
+        let expect: Vec<f32> =
+            (0..n).map(|i| bufs.iter().map(|b| b[i]).sum::<f32>()).collect();
+        ring_all_reduce(&mut bufs);
+        for (d, b) in bufs.iter().enumerate() {
+            for i in 0..n {
+                assert!(
+                    (b[i] - expect[i]).abs() < 1e-4,
+                    "p={p} n={n} device {d} elem {i}: {} vs {}",
+                    b[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_naive_sum() {
+        for p in [2, 3, 4, 7, 8] {
+            for n in [1, 5, 16, 97, 1024] {
+                check_allreduce(p, n);
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_is_noop() {
+        let mut bufs = vec![vec![1.0, 2.0]];
+        ring_all_reduce(&mut bufs);
+        assert_eq!(bufs[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunk_smaller_than_devices() {
+        check_allreduce(8, 3);
+    }
+
+    #[test]
+    fn comm_model_scaling() {
+        let m = CommModel::a100_fat_tree();
+        assert_eq!(m.allreduce_time(1 << 20, 1), 0.0);
+        let t4 = m.allreduce_time(1 << 20, 4);
+        let t32 = m.allreduce_time(1 << 20, 32);
+        assert!(t32 > t4, "more devices, more latency terms");
+        // Bandwidth term saturates at 2·bytes/BW; latency grows linearly.
+        let big = m.allreduce_time(1 << 30, 1024);
+        assert!(big < 2.0 * (1u64 << 30) as f64 / m.bandwidth + 2.0 * 1024.0 * m.latency);
+        // Overlap reduces exposure.
+        assert!(m.exposed_time(1 << 20, 8) < m.allreduce_time(1 << 20, 8));
+    }
+}

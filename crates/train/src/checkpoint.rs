@@ -1,0 +1,63 @@
+//! Checkpointing and report output.
+
+use fc_tensor::ParamStore;
+use std::io::Write;
+use std::path::Path;
+
+/// Save a parameter store to disk (simple binary image).
+pub fn save_checkpoint(store: &ParamStore, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, store.to_bytes())
+}
+
+/// Load a parameter store from disk.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<ParamStore> {
+    let bytes = std::fs::read(path)?;
+    ParamStore::from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Write a report table (TSV/CSV content) to disk, creating parents.
+pub fn write_report(path: impl AsRef<Path>, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_tensor::Tensor;
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = std::env::temp_dir().join("fcnet_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_rows(&[vec![1.5, -2.5]]));
+        save_checkpoint(&store, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (_, orig) = store.iter().next().unwrap();
+        let (_, back) = loaded.iter().next().unwrap();
+        assert!(back.value.approx_eq(&orig.value, 0.0));
+        assert_eq!(back.name, "w");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_checkpoint("/nonexistent/path/model.bin").is_err());
+    }
+
+    #[test]
+    fn write_report_creates_parents() {
+        let dir = std::env::temp_dir().join("fcnet_report_test/nested");
+        let path = dir.join("table.tsv");
+        write_report(&path, "a\tb\n1\t2\n").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("a\tb"));
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,379 @@
+//! The simulated multi-GPU cluster.
+//!
+//! Data parallelism here is *numerically real*: the global batch is
+//! partitioned by the sampler, each simulated device computes real
+//! gradients over its shard, and the shards are combined by an actual
+//! ring all-reduce ([`crate::allreduce::ring_all_reduce`]). Only *time* is
+//! simulated: per-device compute time is measured on the host (devices
+//! are time-multiplexed onto CPU threads of one machine) and the
+//! interconnect is the α-β [`CommModel`]. A step's simulated duration is
+//!
+//! `max_d(compute_d) + exposed_allreduce_time`,
+//!
+//! which preserves exactly the phenomena the paper measures: stragglers
+//! from load imbalance (Fig. 9) and falling scaling efficiency from
+//! communication overhead (Fig. 10).
+
+use crate::allreduce::{ring_all_reduce, CommModel};
+use crate::loss::{composite_loss, LossWeights};
+use crate::optim::{clip_grad_norm, Adam};
+use crate::sampler::{device_loads, load_cov, partition, SamplerKind};
+use fc_core::{Chgnet, ModelConfig};
+use fc_crystal::{GraphBatch, Sample};
+use fc_tensor::{ParamStore, Tape};
+use std::time::Instant;
+
+/// Cluster configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated GPUs.
+    pub n_devices: usize,
+    /// Batch partitioning strategy.
+    pub sampler: SamplerKind,
+    /// Interconnect model.
+    pub comm: CommModel,
+    /// Optional global gradient-norm clip.
+    pub grad_clip: Option<f64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_devices: 1,
+            sampler: SamplerKind::LoadBalance,
+            comm: CommModel::a100_fat_tree(),
+            grad_clip: Some(10.0),
+        }
+    }
+}
+
+/// Statistics of one training step.
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// Total weighted loss.
+    pub loss: f64,
+    /// Per-property loss components (energy, force, stress, magmom).
+    pub components: [f64; 4],
+    /// Measured compute seconds per device.
+    pub device_compute: Vec<f64>,
+    /// Per-device feature-number loads (Fig. 9's y-axis).
+    pub device_loads: Vec<f64>,
+    /// Coefficient of variance of the loads.
+    pub load_cov: f64,
+    /// Exposed all-reduce time (seconds, simulated).
+    pub comm_time: f64,
+    /// Simulated step duration: max compute + exposed comm.
+    pub sim_time: f64,
+    /// Pre-clip gradient norm.
+    pub grad_norm: f64,
+}
+
+/// A data-parallel training cluster around one model replica set.
+pub struct Cluster {
+    /// The model (architecture handles; parameters live in `store`).
+    pub model: Chgnet,
+    /// The replicated parameter store (replicas stay bit-identical, so one
+    /// master copy represents all of them).
+    pub store: ParamStore,
+    /// The optimizer.
+    pub opt: Adam,
+    /// Loss prefactors.
+    pub loss_weights: LossWeights,
+    cfg: ClusterConfig,
+    grad_bytes: usize,
+    sim_time_total: f64,
+}
+
+impl Cluster {
+    /// Build a cluster: model parameters are initialised from `seed` and
+    /// broadcast to all replicas (represented by the master store).
+    pub fn new(model_cfg: ModelConfig, seed: u64, cluster_cfg: ClusterConfig, lr: f32) -> Self {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(model_cfg, &mut store, seed);
+        let opt = Adam::new(&store, lr);
+        let grad_bytes = store.n_scalars() * 4;
+        Cluster {
+            model,
+            store,
+            opt,
+            loss_weights: LossWeights::default(),
+            cfg: cluster_cfg,
+            grad_bytes,
+            sim_time_total: 0.0,
+        }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Total simulated training seconds so far.
+    pub fn sim_time_total(&self) -> f64 {
+        self.sim_time_total
+    }
+
+    /// Set the learning rate (driven by the scheduler).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.opt.lr = lr;
+    }
+
+    /// Single-device step over a pre-collated batch — the consumer side
+    /// of the paper's data-prefetch pipeline ([`crate::Prefetcher`]
+    /// prepares batches on a background thread while the device computes).
+    /// Returns the total weighted loss.
+    pub fn train_collated_step(&mut self, batch: &GraphBatch) -> f64 {
+        let bl = batch.labels.as_ref().expect("prefetched batch must carry labels");
+        let start = Instant::now();
+        let tape = Tape::new();
+        let pred = self.model.forward(&tape, &self.store, batch);
+        let loss = composite_loss(&tape, &pred, bl, &self.loss_weights);
+        let loss_val = tape.value(loss.total).item() as f64;
+        self.store.zero_grads();
+        let gm = tape.backward(loss.total);
+        self.store.accumulate_grads(&tape, &gm);
+        tape.reset();
+        if let Some(max) = self.cfg.grad_clip {
+            clip_grad_norm(&mut self.store, max);
+        }
+        self.opt.step(&mut self.store);
+        self.store.zero_grads();
+        self.sim_time_total += start.elapsed().as_secs_f64();
+        loss_val
+    }
+
+    /// Execute one data-parallel training step over a global batch.
+    pub fn train_step(&mut self, global_batch: &[&Sample]) -> StepStats {
+        assert!(!global_batch.is_empty(), "empty global batch");
+        let features: Vec<usize> =
+            global_batch.iter().map(|s| s.graph.feature_number()).collect();
+        let parts = partition(&features, self.cfg.n_devices, self.cfg.sampler);
+        let loads = device_loads(&features, &parts);
+        let cov = load_cov(&features, &parts);
+
+        let inv_dev = 1.0 / self.cfg.n_devices as f32;
+        let mut device_compute = Vec::with_capacity(self.cfg.n_devices);
+        let mut buffers: Vec<Vec<f32>> = Vec::with_capacity(self.cfg.n_devices);
+        let mut loss_sum = 0.0f64;
+        let mut comp_sum = [0.0f64; 4];
+        let mut active = 0usize;
+
+        for idxs in &parts {
+            if idxs.is_empty() {
+                device_compute.push(0.0);
+                buffers.push(vec![0.0; self.store.n_scalars()]);
+                continue;
+            }
+            active += 1;
+            let start = Instant::now();
+            let graphs: Vec<_> = idxs.iter().map(|&i| &global_batch[i].graph).collect();
+            let labels: Vec<_> = idxs.iter().map(|&i| &global_batch[i].labels).collect();
+            let batch = GraphBatch::collate(&graphs, Some(&labels));
+            let bl = batch.labels.as_ref().expect("labels");
+            let tape = Tape::new();
+            let pred = self.model.forward(&tape, &self.store, &batch);
+            let loss = composite_loss(&tape, &pred, bl, &self.loss_weights);
+            loss_sum += tape.value(loss.total).item() as f64;
+            for (k, part) in [loss.energy, loss.force, loss.stress, loss.magmom]
+                .into_iter()
+                .enumerate()
+            {
+                comp_sum[k] += tape.value(part).item() as f64;
+            }
+            // Backward (second-order when the model derives forces).
+            self.store.zero_grads();
+            let gm = tape.backward(loss.total);
+            self.store.accumulate_grads(&tape, &gm);
+            tape.reset();
+            // Flatten this replica's gradient, pre-scaled for averaging.
+            let mut flat = Vec::with_capacity(self.store.n_scalars());
+            for (_, e) in self.store.iter() {
+                flat.extend(e.grad.data().iter().map(|&g| g * inv_dev));
+            }
+            buffers.push(flat);
+            device_compute.push(start.elapsed().as_secs_f64());
+        }
+
+        // The real ring all-reduce across replica gradient buffers.
+        ring_all_reduce(&mut buffers);
+
+        // Write the reduced gradient back (every replica now holds the
+        // same sum; apply the identical optimizer step once).
+        self.store.zero_grads();
+        let reduced = &buffers[0];
+        let mut off = 0;
+        for (_, e) in self.store.iter_mut() {
+            let n = e.grad.len();
+            e.grad.data_mut().copy_from_slice(&reduced[off..off + n]);
+            off += n;
+        }
+        let grad_norm = match self.cfg.grad_clip {
+            Some(max) => clip_grad_norm(&mut self.store, max),
+            None => self.store.grad_norm(),
+        };
+        self.opt.step(&mut self.store);
+        self.store.zero_grads();
+
+        let comm_time = self.cfg.comm.exposed_time(self.grad_bytes, self.cfg.n_devices);
+        let max_compute = device_compute.iter().copied().fold(0.0f64, f64::max);
+        let sim_time = max_compute + comm_time;
+        self.sim_time_total += sim_time;
+
+        let active = active.max(1) as f64;
+        StepStats {
+            loss: loss_sum / active,
+            components: [
+                comp_sum[0] / active,
+                comp_sum[1] / active,
+                comp_sum[2] / active,
+                comp_sum[3] / active,
+            ],
+            device_compute,
+            device_loads: loads,
+            load_cov: cov,
+            comm_time,
+            sim_time,
+            grad_norm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::OptLevel;
+    use fc_crystal::{DatasetConfig, SynthMPtrj};
+
+    fn dataset() -> SynthMPtrj {
+        SynthMPtrj::generate(&DatasetConfig {
+            n_structures: 12,
+            max_atoms: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn train_step_reduces_loss_over_steps() {
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().collect();
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig { n_devices: 2, ..Default::default() },
+            3e-3,
+        );
+        let first = cluster.train_step(&samples);
+        assert!(first.loss.is_finite() && first.loss > 0.0);
+        let mut last = first.loss;
+        for _ in 0..14 {
+            last = cluster.train_step(&samples).loss;
+        }
+        assert!(last < first.loss, "loss did not improve: {} -> {last}", first.loss);
+    }
+
+    #[test]
+    fn device_count_preserved_in_stats() {
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().collect();
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig { n_devices: 4, ..Default::default() },
+            1e-3,
+        );
+        let stats = cluster.train_step(&samples);
+        assert_eq!(stats.device_compute.len(), 4);
+        assert_eq!(stats.device_loads.len(), 4);
+        assert!(stats.comm_time > 0.0);
+        assert!(stats.sim_time >= stats.comm_time);
+        assert!(cluster.sim_time_total() >= stats.sim_time);
+    }
+
+    #[test]
+    fn multi_device_step_equals_single_device_step() {
+        // Data parallelism must be numerically equivalent to one big
+        // device (identical partition-independent gradient averaging),
+        // up to f32 all-reduce reordering.
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().take(8).collect();
+        let mk = |n_devices| {
+            Cluster::new(
+                ModelConfig::tiny(OptLevel::Decoupled),
+                5,
+                ClusterConfig { n_devices, grad_clip: None, ..Default::default() },
+                1e-3,
+            )
+        };
+        let mut c1 = mk(1);
+        let mut c4 = mk(4);
+        c1.train_step(&samples);
+        c4.train_step(&samples);
+        // Compare a few parameters after one step.
+        for (id, e1) in c1.store.iter() {
+            let e4 = c4.store.entry(id);
+            // Losses are means per device: 1-device grad = mean over batch;
+            // 4-device grad = mean of per-device means. With equal shard
+            // sizes (8 / 4) these differ only by sample weighting when
+            // shard losses are entry-means — allow a loose tolerance but
+            // demand the same direction and magnitude.
+            for (a, b) in e1.value.data().iter().zip(e4.value.data()) {
+                assert!((a - b).abs() < 2e-3, "{}: {a} vs {b}", e1.name);
+            }
+            let _ = e4;
+        }
+    }
+
+    #[test]
+    fn prefetched_training_pipeline_learns() {
+        use crate::dataloader::{epoch_batches, Prefetcher};
+        use std::sync::Arc;
+        let data = dataset();
+        let samples = Arc::new(data.samples.clone());
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig::default(),
+            1e-2,
+        );
+        // Compare mean epoch loss, not single noisy batches.
+        let mut epoch_means = Vec::new();
+        for epoch in 0..4 {
+            let batches = epoch_batches(samples.len(), 6, epoch);
+            let mut pf = Prefetcher::new(samples.clone(), batches, 2);
+            let mut acc = 0.0;
+            let mut n = 0;
+            while let Some(batch) = pf.next_batch() {
+                acc += cluster.train_collated_step(&batch);
+                n += 1;
+            }
+            epoch_means.push(acc / n.max(1) as f64);
+        }
+        assert!(
+            epoch_means.last().unwrap() < epoch_means.first().unwrap(),
+            "epoch losses {epoch_means:?}"
+        );
+    }
+
+    #[test]
+    fn load_balance_lowers_cov_in_step_stats() {
+        let data = SynthMPtrj::generate(&DatasetConfig {
+            n_structures: 32,
+            max_atoms: 24,
+            ..Default::default()
+        });
+        let samples: Vec<&Sample> = data.samples.iter().collect();
+        let mk = |sampler| {
+            Cluster::new(
+                ModelConfig::tiny(OptLevel::Decoupled),
+                5,
+                ClusterConfig { n_devices: 4, sampler, ..Default::default() },
+                1e-3,
+            )
+        };
+        let mut cd = mk(SamplerKind::Default);
+        let mut cl = mk(SamplerKind::LoadBalance);
+        let sd = cd.train_step(&samples);
+        let sl = cl.train_step(&samples);
+        assert!(sl.load_cov <= sd.load_cov, "{} vs {}", sl.load_cov, sd.load_cov);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fc_train — the FastCHGNet training pipeline
+//!
+//! Everything between the model and the paper's evaluation numbers:
+//!
+//! * composite Huber loss with the paper's prefactors (2 / 1.5 / 0.1 / 0.1),
+//! * Adam + cosine annealing + the Eq. 14 large-batch LR scaling rule,
+//! * the default and Load-Balance batch samplers with the
+//!   coefficient-of-variance imbalance metric (Fig. 9),
+//! * a real ring all-reduce over replica gradients plus an α-β
+//!   interconnect cost model with communication overlap,
+//! * the simulated multi-GPU [`Cluster`] (numerically exact data
+//!   parallelism, simulated step clock),
+//! * an asynchronous data [`Prefetcher`],
+//! * the calibratable [`ScalingModel`] behind the Fig. 10 strong/weak
+//!   scaling curves,
+//! * metrics (MAE in the paper's units, parity R²) and checkpointing.
+
+pub mod allreduce;
+pub mod checkpoint;
+pub mod cluster;
+pub mod dataloader;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod quant;
+pub mod sampler;
+pub mod sched;
+pub mod scaling;
+pub mod trainer;
+
+pub use allreduce::{ring_all_reduce, CommModel};
+pub use checkpoint::{load_checkpoint, save_checkpoint, write_report};
+pub use cluster::{Cluster, ClusterConfig, StepStats};
+pub use dataloader::{epoch_batches, Prefetcher};
+pub use loss::{composite_loss, LossParts, LossWeights};
+pub use metrics::{evaluate, evaluate_with_scatter, r2, EvalMetrics, ScatterData};
+pub use optim::{clip_grad_norm, Adam};
+pub use quant::{model_bytes, quantize_store, quantize_tensor, Precision};
+pub use sampler::{device_loads, load_cov, partition, SamplerKind};
+pub use scaling::{fit_linear, strong_efficiency, weak_efficiency, ScalingModel};
+pub use sched::{scaled_init_lr, CosineAnnealing, BASE_LR, LR_SCALE_K};
+pub use trainer::{train_model, EpochLog, LrPolicy, TrainConfig, TrainReport};

@@ -1,0 +1,206 @@
+//! Post-training quantization study (the paper's §VII future work:
+//! "we will try to apply model compression and quantization").
+//!
+//! The paper observes that no interatomic potential has been trained in
+//! half precision and that quantized *inference* is unexplored for UIPs.
+//! This module makes the experiment runnable: it simulates storing the
+//! trained weights at reduced precision (bf16 / fp16 / int8-per-tensor)
+//! and lets the evaluation harness measure the resulting accuracy drop
+//! (compute still runs in f32, emulating dequantize-on-load inference).
+
+use fc_tensor::{ParamStore, Tensor};
+
+/// Weight storage precisions for the quantization study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Precision {
+    /// Full single precision (identity).
+    F32,
+    /// bfloat16: 8-bit exponent, 7-bit mantissa (truncation rounding).
+    Bf16,
+    /// IEEE half: 5-bit exponent, 10-bit mantissa.
+    F16,
+    /// Symmetric int8 per-tensor: `w ≈ scale · q`, `q ∈ [-127, 127]`.
+    Int8,
+}
+
+impl Precision {
+    /// Bits per stored scalar.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::F32 => 32,
+            Precision::Bf16 | Precision::F16 => 16,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+/// Round one value through the storage precision.
+fn round_scalar(x: f32, p: Precision, scale: f32) -> f32 {
+    match p {
+        Precision::F32 => x,
+        Precision::Bf16 => f32::from_bits(x.to_bits() & 0xFFFF_0000),
+        Precision::F16 => {
+            // Round-trip through IEEE binary16 semantics.
+            half_to_f32(f32_to_half(x))
+        }
+        Precision::Int8 => {
+            if scale == 0.0 {
+                0.0
+            } else {
+                (x / scale).round().clamp(-127.0, 127.0) * scale
+            }
+        }
+    }
+}
+
+/// Quantize a tensor in place (per-tensor scale for int8).
+pub fn quantize_tensor(t: &mut Tensor, p: Precision) {
+    let scale = match p {
+        Precision::Int8 => t.max_abs() / 127.0,
+        _ => 0.0,
+    };
+    for x in t.data_mut() {
+        *x = round_scalar(*x, p, scale);
+    }
+}
+
+/// Return a copy of `store` with every parameter stored at precision `p`.
+pub fn quantize_store(store: &ParamStore, p: Precision) -> ParamStore {
+    let mut out = store.clone();
+    for (_, e) in out.iter_mut() {
+        quantize_tensor(&mut e.value, p);
+    }
+    out
+}
+
+/// Model size in bytes at a storage precision.
+pub fn model_bytes(store: &ParamStore, p: Precision) -> usize {
+    store.n_scalars() * p.bits() as usize / 8
+}
+
+// --- minimal IEEE binary16 conversion (no external crate) ---------------
+
+fn f32_to_half(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32 - 127 + 15;
+    let mant = bits & 0x7F_FFFF;
+    if exp >= 0x1F {
+        // Overflow -> inf (or propagate NaN payload bit).
+        return sign | 0x7C00 | if mant != 0 && ((bits >> 23) & 0xFF) == 0xFF { 1 } else { 0 };
+    }
+    if exp <= 0 {
+        // Subnormal or zero.
+        if exp < -10 {
+            return sign;
+        }
+        let m = (mant | 0x80_0000) >> (1 - exp + 13);
+        return sign | m as u16;
+    }
+    // Round-to-nearest-even on the 13 dropped bits.
+    let rounded = (mant + 0x0FFF + ((mant >> 13) & 1)) >> 13;
+    let half = ((exp as u32) << 10) + rounded;
+    sign | half as u16
+}
+
+fn half_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalise.
+            let mut e = -1i32;
+            let mut m = m;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            sign | (((127 - 15 - e) as u32) << 23) | ((m & 0x3FF) << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &x in &[0.0f32, 1.0, -2.0, 0.5, 1024.0, -0.25] {
+            assert_eq!(half_to_f32(f32_to_half(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_close() {
+        for &x in &[0.1f32, std::f32::consts::PI, -1.2345, 123.456] {
+            let r = half_to_f32(f32_to_half(x));
+            assert!((r - x).abs() < 1e-3 * (1.0 + x.abs()), "{x} -> {r}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_to_inf_and_subnormals() {
+        assert!(half_to_f32(f32_to_half(1e6)).is_infinite());
+        let tiny = 3e-8f32;
+        let r = half_to_f32(f32_to_half(tiny));
+        assert!(r >= 0.0 && r < 1e-6);
+    }
+
+    #[test]
+    fn bf16_truncates_mantissa() {
+        let mut t = Tensor::row_vec(&[std::f32::consts::PI]);
+        quantize_tensor(&mut t, Precision::Bf16);
+        let q = t.data()[0];
+        assert_ne!(q, std::f32::consts::PI);
+        assert!((q - std::f32::consts::PI).abs() < 0.02);
+        assert_eq!(q.to_bits() & 0xFFFF, 0);
+    }
+
+    #[test]
+    fn int8_quantization_error_bounded() {
+        let vals: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut t = Tensor::row_vec(&vals);
+        let max = t.max_abs();
+        quantize_tensor(&mut t, Precision::Int8);
+        let step = max / 127.0;
+        for (q, x) in t.data().iter().zip(&vals) {
+            assert!((q - x).abs() <= 0.5 * step + 1e-7, "{x} -> {q}");
+        }
+    }
+
+    #[test]
+    fn quantized_store_shares_layout() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::row_vec(&[0.1, -0.2, 0.3]));
+        let q = quantize_store(&store, Precision::Bf16);
+        assert_eq!(q.len(), store.len());
+        assert_eq!(model_bytes(&store, Precision::F32), 12);
+        assert_eq!(model_bytes(&store, Precision::Bf16), 6);
+        assert_eq!(model_bytes(&store, Precision::Int8), 3);
+    }
+
+    #[test]
+    fn f32_is_identity() {
+        let vals: Vec<f32> = vec![1.0, -2.5, 0.125];
+        let mut t = Tensor::row_vec(&vals);
+        quantize_tensor(&mut t, Precision::F32);
+        assert_eq!(t.data(), &vals[..]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The end-to-end training loop (paper §IV): Adam + cosine annealing +
+//! Eq. 14 LR scaling over the simulated data-parallel cluster.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::dataloader::epoch_batches;
+use crate::metrics::{evaluate, EvalMetrics};
+use crate::sched::{scaled_init_lr, CosineAnnealing, BASE_LR};
+use fc_core::ModelConfig;
+use fc_crystal::{Sample, SynthMPtrj};
+use std::time::Instant;
+
+/// Learning-rate policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrPolicy {
+    /// A fixed initial LR (cosine-annealed).
+    Fixed(f32),
+    /// The paper's default LR (0.0003), regardless of batch size.
+    PaperDefault,
+    /// Eq. 14: `batch / 128 × 0.0003` (cosine-annealed).
+    Scaled,
+}
+
+impl LrPolicy {
+    /// Resolve the initial learning rate for a global batch size.
+    pub fn initial_lr(self, global_batch: usize) -> f32 {
+        match self {
+            LrPolicy::Fixed(lr) => lr,
+            LrPolicy::PaperDefault => BASE_LR,
+            LrPolicy::Scaled => scaled_init_lr(global_batch),
+        }
+    }
+}
+
+/// Full training configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Model architecture + optimization level.
+    pub model: ModelConfig,
+    /// Weight-init / shuffling seed.
+    pub seed: u64,
+    /// Epochs (paper: 30).
+    pub epochs: usize,
+    /// Global batch size (paper: 128 default; 2048 large-batch runs).
+    pub global_batch: usize,
+    /// Cluster layout.
+    pub cluster: ClusterConfig,
+    /// LR policy.
+    pub lr: LrPolicy,
+    /// Evaluation mini-batch size.
+    pub eval_batch: usize,
+    /// Fit CHGNet's AtomRef composition model on the train split before
+    /// training (the GNN then fits the residual energy).
+    pub use_atom_ref: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            model: ModelConfig::default(),
+            seed: 0,
+            epochs: 10,
+            global_batch: 16,
+            cluster: ClusterConfig::default(),
+            lr: LrPolicy::Scaled,
+            eval_batch: 8,
+            use_atom_ref: true,
+        }
+    }
+}
+
+/// Per-epoch log entry.
+#[derive(Clone, Debug)]
+pub struct EpochLog {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss across the epoch's steps.
+    pub train_loss: f64,
+    /// LR at the start of the epoch.
+    pub lr: f32,
+    /// Validation metrics.
+    pub val: EvalMetrics,
+    /// Simulated epoch duration (seconds).
+    pub sim_time: f64,
+    /// Host wall-clock spent (seconds).
+    pub wall_time: f64,
+}
+
+/// Complete training report.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Per-epoch logs.
+    pub epochs: Vec<EpochLog>,
+    /// Final test-split metrics.
+    pub test: EvalMetrics,
+    /// Trainable scalar count.
+    pub n_params: usize,
+    /// Total simulated training time (seconds).
+    pub sim_time_total: f64,
+}
+
+impl TrainReport {
+    /// Render the report as a TSV table (one row per epoch).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "epoch\ttrain_loss\tlr\te_mae_meV\tf_mae_meV\ts_mae_GPa\tm_mae_mmuB\tsim_time_s\n",
+        );
+        for l in &self.epochs {
+            out.push_str(&format!(
+                "{}\t{:.6}\t{:.6}\t{:.2}\t{:.2}\t{:.4}\t{:.2}\t{:.3}\n",
+                l.epoch,
+                l.train_loss,
+                l.lr,
+                l.val.e_mae * 1e3,
+                l.val.f_mae * 1e3,
+                l.val.s_mae,
+                l.val.m_mae * 1e3,
+                l.sim_time
+            ));
+        }
+        out
+    }
+}
+
+/// Train a model on the dataset's train split, validating each epoch and
+/// testing at the end. Returns the trained cluster and the report.
+pub fn train_model(data: &SynthMPtrj, cfg: &TrainConfig) -> (Cluster, TrainReport) {
+    let train: Vec<&Sample> = data.train_samples();
+    let val: Vec<&Sample> = data.val_samples();
+    let test: Vec<&Sample> = data.test_samples();
+    assert!(!train.is_empty(), "empty training split");
+
+    let lr0 = cfg.lr.initial_lr(cfg.global_batch);
+    let mut cluster = Cluster::new(cfg.model, cfg.seed, cfg.cluster, lr0);
+    if cfg.use_atom_ref {
+        cluster.model.set_atom_ref(fc_core::AtomRef::fit(&train, 1e-6));
+    }
+    let n_params = cluster.store.n_scalars();
+
+    let steps_per_epoch = train.len().div_ceil(cfg.global_batch);
+    let sched = CosineAnnealing::new(lr0, (cfg.epochs * steps_per_epoch).max(1));
+
+    let mut logs = Vec::with_capacity(cfg.epochs);
+    let mut global_step = 0usize;
+    for epoch in 0..cfg.epochs {
+        let start = Instant::now();
+        let sim_before = cluster.sim_time_total();
+        let batches = epoch_batches(train.len(), cfg.global_batch, cfg.seed ^ (epoch as u64));
+        let mut loss_acc = 0.0;
+        let mut steps = 0usize;
+        let epoch_lr = sched.lr_at(global_step);
+        for idxs in batches {
+            cluster.set_lr(sched.lr_at(global_step));
+            let batch: Vec<&Sample> = idxs.iter().map(|&i| train[i]).collect();
+            let stats = cluster.train_step(&batch);
+            loss_acc += stats.loss;
+            steps += 1;
+            global_step += 1;
+        }
+        let val_metrics = if val.is_empty() {
+            EvalMetrics::default()
+        } else {
+            evaluate(&cluster.model, &cluster.store, &val, cfg.eval_batch)
+        };
+        logs.push(EpochLog {
+            epoch,
+            train_loss: loss_acc / steps.max(1) as f64,
+            lr: epoch_lr,
+            val: val_metrics,
+            sim_time: cluster.sim_time_total() - sim_before,
+            wall_time: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    let test_metrics = if test.is_empty() {
+        EvalMetrics::default()
+    } else {
+        evaluate(&cluster.model, &cluster.store, &test, cfg.eval_batch)
+    };
+    let sim_time_total = cluster.sim_time_total();
+    (cluster, TrainReport { epochs: logs, test: test_metrics, n_params, sim_time_total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::OptLevel;
+    use fc_crystal::DatasetConfig;
+
+    fn tiny_dataset() -> SynthMPtrj {
+        SynthMPtrj::generate(&DatasetConfig {
+            n_structures: 30,
+            max_atoms: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn training_improves_validation_mae() {
+        let data = tiny_dataset();
+        let cfg = TrainConfig {
+            model: ModelConfig::tiny(OptLevel::Decoupled),
+            epochs: 8,
+            global_batch: 8,
+            lr: LrPolicy::Fixed(1e-2),
+            ..Default::default()
+        };
+        let (_, report) = train_model(&data, &cfg);
+        assert_eq!(report.epochs.len(), 8);
+        // A unit-test-sized run must at least optimise its own objective;
+        // validation-side improvement is exercised at benchmark scale
+        // (table1 / fig6 binaries). Per-epoch means are noisy (batch
+        // composition), so compare two-epoch averages.
+        let first = (report.epochs[0].train_loss + report.epochs[1].train_loss) / 2.0;
+        let last = (report.epochs[6].train_loss + report.epochs[7].train_loss) / 2.0;
+        assert!(last < first, "train loss did not improve: {first} -> {last}");
+        // Validation metrics stay finite and within sane magnitudes.
+        let final_val = report.epochs.last().unwrap().val;
+        assert!(final_val.e_mae.is_finite() && final_val.e_mae < 100.0);
+        assert!(report.n_params > 0);
+        assert!(report.sim_time_total > 0.0);
+    }
+
+    #[test]
+    fn lr_policies_resolve() {
+        assert_eq!(LrPolicy::Fixed(1e-3).initial_lr(999), 1e-3);
+        assert_eq!(LrPolicy::PaperDefault.initial_lr(2048), BASE_LR);
+        assert!(LrPolicy::Scaled.initial_lr(2048) > LrPolicy::Scaled.initial_lr(128));
+    }
+
+    #[test]
+    fn report_tsv_has_header_and_rows() {
+        let data = tiny_dataset();
+        let cfg = TrainConfig {
+            model: ModelConfig::tiny(OptLevel::Decoupled),
+            epochs: 2,
+            global_batch: 16,
+            ..Default::default()
+        };
+        let (_, report) = train_model(&data, &cfg);
+        let tsv = report.to_tsv();
+        assert!(tsv.starts_with("epoch\t"));
+        assert_eq!(tsv.lines().count(), 3);
+    }
+}

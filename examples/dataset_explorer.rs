@@ -1,0 +1,75 @@
+//! Explore the SynthMPtrj dataset: size distributions, element
+//! frequencies, oracle label ranges, and the energy-force consistency
+//! check that makes derivative-vs-head training comparable.
+//!
+//! Run: `cargo run --release --example dataset_explorer`
+
+use fastchgnet::crystal::stats::{coefficient_of_variance, mean, GraphStats};
+use fastchgnet::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let data = SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 200,
+        max_atoms: 24,
+        ..Default::default()
+    });
+    println!("generated {} labelled structures\n", data.samples.len());
+
+    // Size distributions (the Fig. 5 long tail).
+    let stats = GraphStats::collect(data.samples.iter());
+    for (name, values) in
+        [("atoms", &stats.atoms), ("bonds", &stats.bonds), ("angles", &stats.angles)]
+    {
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{name:<7} mean {:>8.1}  max {:>8.0}  CoV {:.3}",
+            mean(values),
+            max,
+            coefficient_of_variance(values)
+        );
+    }
+
+    // Element frequency table.
+    let mut freq: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for s in &data.samples {
+        for e in &s.graph.structure.species {
+            *freq.entry(e.symbol()).or_default() += 1;
+        }
+    }
+    let mut by_count: Vec<_> = freq.into_iter().collect();
+    by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\ntop-10 elements by site count (O/Li-rich like MPtrj):");
+    for (sym, count) in by_count.iter().take(10) {
+        println!("  {sym:<3} {count}");
+    }
+
+    // Label ranges.
+    let e_per_atom: Vec<f64> =
+        data.samples.iter().map(|s| s.labels.energy_per_atom()).collect();
+    println!(
+        "\nenergy per atom: min {:.2}, mean {:.2}, max {:.2} eV/atom",
+        e_per_atom.iter().copied().fold(f64::MAX, f64::min),
+        mean(&e_per_atom),
+        e_per_atom.iter().copied().fold(f64::MIN, f64::max)
+    );
+
+    // Energy-force consistency spot check: F ≈ -dE/dx (finite difference).
+    let sample = &data.samples[0];
+    let s0 = &sample.graph.structure;
+    let h = 1e-5;
+    let mut disp = vec![[0.0; 3]; s0.n_atoms()];
+    disp[0][0] = h;
+    let mut sp = s0.clone();
+    sp.displace_cart(&disp);
+    disp[0][0] = -h;
+    let mut sm = s0.clone();
+    sm.displace_cart(&disp);
+    let fd = -(oracle_evaluate(&sp).energy - oracle_evaluate(&sm).energy) / (2.0 * h);
+    println!(
+        "\nenergy-force consistency on {}: analytic F[0].x = {:+.6}, finite diff = {:+.6}",
+        s0.formula(),
+        sample.labels.forces[0][0],
+        fd
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a crystal, run FastCHGNet on it, print energy,
+//! forces, stress and magnetic moments.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use fastchgnet::prelude::*;
+
+fn main() {
+    // 1. Build a rocksalt-like LiO crystal (2-atom periodic cell).
+    let structure = Structure::new(
+        Lattice::cubic(3.4),
+        vec![Element::from_symbol("Li").unwrap(), Element::from_symbol("O").unwrap()],
+        vec![[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]],
+    );
+    println!("structure: {} ({} atoms, volume {:.1} Å³)", structure.formula(), structure.n_atoms(), structure.volume());
+
+    // 2. Construct the two-level crystal graph (6 Å atom graph, 3 Å bond
+    //    graph) and collate a single-structure batch.
+    let graph = CrystalGraph::new(structure.clone());
+    println!(
+        "graph: {} bonds, {} angles (feature number {})",
+        graph.n_bonds(),
+        graph.n_angles(),
+        graph.feature_number()
+    );
+    let batch = GraphBatch::collate(&[&graph], None);
+
+    // 3. Create a FastCHGNet (Force/Stress heads, all fusions on).
+    let mut store = ParamStore::new();
+    let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 42);
+    println!("model: {} trainable parameters", store.n_scalars());
+
+    // 4. Forward pass.
+    let tape = Tape::new();
+    let pred = model.forward(&tape, &store, &batch);
+    let energy = tape.value(pred.energy).item();
+    let forces = tape.value(pred.forces);
+    let stress = tape.value(pred.stress);
+    let magmom = tape.value(pred.magmom);
+
+    println!("\npredicted energy: {energy:.4} eV");
+    println!("forces (eV/Å):");
+    for r in 0..forces.rows() {
+        println!("  atom {r}: [{:+.4}, {:+.4}, {:+.4}]", forces.at(r, 0), forces.at(r, 1), forces.at(r, 2));
+    }
+    println!("stress (GPa):");
+    for r in 0..3 {
+        println!("  [{:+.4}, {:+.4}, {:+.4}]", stress.at(r, 0), stress.at(r, 1), stress.at(r, 2));
+    }
+    println!("magnetic moments (μ_B): {:?}", magmom.data());
+
+    // 5. Compare against the synthetic-DFT oracle labels.
+    let labels = oracle_evaluate(&structure);
+    println!("\noracle energy: {:.4} eV (untrained model differs — see the train_potential example)", labels.energy);
+
+    // 6. Profiling: how many kernels did that forward launch?
+    let snap = tape.profiler().snapshot();
+    println!("kernels launched: {} ({} fused)", snap.kernels, snap.fused_kernels);
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper (TSVs land in reports/).
+# Usage: scripts/run_all_experiments.sh [quick|full]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export FASTCHGNET_SCALE="${1:-quick}"
+echo "building release binaries (scale: $FASTCHGNET_SCALE) ..."
+cargo build --release -p fastchgnet-bench
+
+mkdir -p reports
+for bin in fig5 fig9 table2 fig8 fig10 table1 fig6 fig7 ablation headline; do
+    echo
+    echo "=================================================================="
+    echo "running $bin"
+    echo "=================================================================="
+    ./target/release/$bin | tee "reports/$bin.log"
+done
+echo
+echo "all experiment reports written to reports/"

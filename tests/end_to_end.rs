@@ -1,0 +1,119 @@
+//! End-to-end integration: dataset → model → training → evaluation,
+//! across all three Table-I variants.
+
+use fastchgnet::prelude::*;
+
+fn tiny_dataset(n: usize) -> SynthMPtrj {
+    SynthMPtrj::generate(&DatasetConfig { n_structures: n, max_atoms: 8, ..Default::default() })
+}
+
+#[test]
+fn all_variants_predict_all_properties() {
+    let data = tiny_dataset(4);
+    let graphs: Vec<_> = data.samples.iter().map(|s| &s.graph).collect();
+    let batch = GraphBatch::collate(&graphs, None);
+    for variant in [ModelVariant::Reference, ModelVariant::FastNoHead, ModelVariant::FastHead] {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(variant.opt_level()), &mut store, 3);
+        let tape = Tape::new();
+        let pred = model.forward(&tape, &store, &batch);
+        assert_eq!(tape.value(pred.energy).rows(), batch.n_graphs, "{variant:?}");
+        assert_eq!(tape.value(pred.forces).rows(), batch.n_atoms);
+        assert_eq!(tape.value(pred.stress).rows(), batch.n_graphs * 3);
+        assert_eq!(tape.value(pred.magmom).rows(), batch.n_atoms);
+        assert!(tape.value(pred.forces).all_finite());
+    }
+}
+
+#[test]
+fn short_training_run_improves_all_properties_weighted() {
+    let data = tiny_dataset(24);
+    let cfg = TrainConfig {
+        model: ModelConfig::tiny(OptLevel::Decoupled),
+        seed: 1,
+        epochs: 5,
+        global_batch: 8,
+        lr: LrPolicy::Fixed(4e-3),
+        ..Default::default()
+    };
+    let (cluster, report) = fastchgnet::train::train_model(&data, &cfg);
+    // At unit-test scale, assert the optimiser makes progress on its own
+    // objective; validation improvement is demonstrated by the table1 /
+    // fig6 benchmark binaries at larger scale.
+    let first = report.epochs.first().unwrap().train_loss;
+    let last = report.epochs.last().unwrap().train_loss;
+    assert!(last < first, "train loss did not improve: {first} -> {last}");
+    let w = LossWeights::default();
+    let score = |m: &EvalMetrics| {
+        w.energy as f64 * m.e_mae + w.force as f64 * m.f_mae + w.stress as f64 * m.s_mae
+            + w.magmom as f64 * m.m_mae
+    };
+    assert!(score(&report.epochs.last().unwrap().val).is_finite());
+    // Test-set evaluation works on the trained model.
+    let test = data.test_samples();
+    let m = evaluate(&cluster.model, &cluster.store, &test, 4);
+    assert!(m.e_mae.is_finite());
+}
+
+#[test]
+fn second_order_training_step_works_for_reference_model() {
+    // The reference CHGNet trains through dE/dx — one full cluster step
+    // exercises double backward end to end.
+    let data = tiny_dataset(6);
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let mut cluster = Cluster::new(
+        ModelConfig::tiny(OptLevel::Reference),
+        2,
+        ClusterConfig::default(),
+        1e-3,
+    );
+    let s1 = cluster.train_step(&samples);
+    assert!(s1.grad_norm > 0.0, "no gradient flowed");
+    let s2 = cluster.train_step(&samples);
+    assert!(s2.loss.is_finite());
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let data = tiny_dataset(4);
+    let mut store = ParamStore::new();
+    let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 5);
+    let batch = GraphBatch::collate(&[&data.samples[0].graph], None);
+    let tape = Tape::new();
+    let before = tape.value(model.forward(&tape, &store, &batch).energy).item();
+
+    let path = std::env::temp_dir().join("fcnet_e2e.ckpt");
+    fastchgnet::train::save_checkpoint(&store, &path).unwrap();
+    let restored = fastchgnet::train::load_checkpoint(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let tape2 = Tape::new();
+    let after = tape2.value(model.forward(&tape2, &restored, &batch).energy).item();
+    assert_eq!(before, after, "checkpoint changed predictions");
+}
+
+#[test]
+fn fusion_levels_agree_numerically_in_inference() {
+    // ParallelBasis → Fusion is a pure kernel-level change: predictions
+    // must agree to f32 tolerance (dependency elimination does change the
+    // model, so compare within-the-same-dependency-mode pairs only:
+    // Reference vs ParallelBasis here; Fusion vs Decoupled share deps but
+    // differ in heads, so compare energy only through shared weights).
+    let data = tiny_dataset(3);
+    let graphs: Vec<_> = data.samples.iter().map(|s| &s.graph).collect();
+    let batch = GraphBatch::collate(&graphs, None);
+
+    let mut s1 = ParamStore::new();
+    let m1 = Chgnet::new(ModelConfig::tiny(OptLevel::Reference), &mut s1, 9);
+    let t1 = Tape::new();
+    let p1 = m1.forward(&t1, &s1, &batch);
+
+    let mut s2 = ParamStore::new();
+    let m2 = Chgnet::new(ModelConfig::tiny(OptLevel::ParallelBasis), &mut s2, 9);
+    let t2 = Tape::new();
+    let p2 = m2.forward(&t2, &s2, &batch);
+
+    assert!(t1.value(p1.energy).approx_eq(&t2.value(p2.energy), 1e-4));
+    assert!(t1.value(p1.forces).approx_eq(&t2.value(p2.forces), 1e-3));
+    assert!(t1.value(p1.magmom).approx_eq(&t2.value(p2.magmom), 1e-4));
+}

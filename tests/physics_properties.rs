@@ -1,0 +1,123 @@
+//! Property-based physics tests: rotation/translation symmetries of the
+//! models and oracle over randomized structures (proptest).
+
+use fastchgnet::prelude::*;
+use proptest::prelude::*;
+
+/// Build a small random binary crystal from proptest-driven parameters.
+fn build_structure(a: f64, z1: u8, z2: u8, fx: f64, fy: f64, fz: f64) -> Structure {
+    Structure::new(
+        Lattice::cubic(a),
+        vec![Element::new(z1), Element::new(z2)],
+        vec![[0.0, 0.0, 0.0], [0.35 + fx * 0.3, 0.35 + fy * 0.3, 0.35 + fz * 0.3]],
+    )
+}
+
+/// Rotate a structure by 90° about z.
+fn rotate_z(s: &Structure) -> Structure {
+    let rot = |v: [f64; 3]| [-v[1], v[0], v[2]];
+    let m = s.lattice.m;
+    Structure::new(
+        Lattice::new(rot(m[0]), rot(m[1]), rot(m[2])),
+        s.species.clone(),
+        s.frac_coords.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn oracle_energy_rotation_invariant(
+        a in 3.0f64..4.5,
+        z1 in 1u8..89,
+        z2 in 1u8..89,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+        fz in 0.0f64..1.0,
+    ) {
+        let s = build_structure(a, z1, z2, fx, fy, fz);
+        let rs = rotate_z(&s);
+        let e1 = oracle_evaluate(&s).energy;
+        let e2 = oracle_evaluate(&rs).energy;
+        prop_assert!((e1 - e2).abs() < 1e-8 * (1.0 + e1.abs()), "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn model_energy_rotation_invariant_and_forces_equivariant(
+        a in 3.2f64..4.2,
+        z1 in 1u8..89,
+        z2 in 1u8..89,
+        seed in 0u64..1000,
+    ) {
+        let s = build_structure(a, z1, z2, 0.4, 0.5, 0.45);
+        let rs = rotate_z(&s);
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, seed);
+
+        let b1 = GraphBatch::collate(&[&CrystalGraph::new(s)], None);
+        let b2 = GraphBatch::collate(&[&CrystalGraph::new(rs)], None);
+        let t1 = Tape::new();
+        let p1 = model.forward(&t1, &store, &b1);
+        let t2 = Tape::new();
+        let p2 = model.forward(&t2, &store, &b2);
+
+        let e1 = t1.value(p1.energy).item() as f64;
+        let e2 = t2.value(p2.energy).item() as f64;
+        prop_assert!((e1 - e2).abs() < 2e-4 * (1.0 + e1.abs()), "energy {e1} vs {e2}");
+
+        // Force head equivariance: F(Rx) = R F(x).
+        let f1 = t1.value(p1.forces);
+        let f2 = t2.value(p2.forces);
+        for atom in 0..f1.rows() {
+            let rotated = [-f1.at(atom, 1), f1.at(atom, 0), f1.at(atom, 2)];
+            for k in 0..3 {
+                let diff = (rotated[k] - f2.at(atom, k)).abs();
+                prop_assert!(
+                    diff < 2e-3 * (1.0 + rotated[k].abs()),
+                    "atom {atom} axis {k}: {} vs {}", rotated[k], f2.at(atom, k)
+                );
+            }
+        }
+
+        // Magmoms (scalars) are invariant.
+        let m1 = t1.value(p1.magmom);
+        let m2 = t2.value(p2.magmom);
+        prop_assert!(m1.approx_eq(&m2, 1e-3));
+    }
+
+    #[test]
+    fn oracle_forces_are_energy_consistent(
+        a in 3.2f64..4.2,
+        z1 in 1u8..89,
+        z2 in 1u8..89,
+    ) {
+        let s = build_structure(a, z1, z2, 0.5, 0.5, 0.5);
+        let labels = oracle_evaluate(&s);
+        let h = 1e-5;
+        let mut disp = vec![[0.0; 3]; 2];
+        disp[1][2] = h;
+        let mut sp = s.clone();
+        sp.displace_cart(&disp);
+        disp[1][2] = -h;
+        let mut sm = s.clone();
+        sm.displace_cart(&disp);
+        let fd = -(oracle_evaluate(&sp).energy - oracle_evaluate(&sm).energy) / (2.0 * h);
+        let an = labels.forces[1][2];
+        prop_assert!((fd - an).abs() < 1e-3 * (1.0 + an.abs()), "fd {fd} vs analytic {an}");
+    }
+
+    #[test]
+    fn huber_loss_nonnegative_and_bounded_by_abs(
+        x in proptest::collection::vec(-10.0f32..10.0, 1..20),
+        delta in 0.1f32..2.0,
+    ) {
+        let tape = Tape::new();
+        let v = tape.constant(Tensor::row_vec(&x));
+        let h = tape.value(tape.huber(v, delta));
+        for (hv, xv) in h.data().iter().zip(&x) {
+            prop_assert!(*hv >= 0.0);
+            prop_assert!(*hv <= delta * xv.abs() + 1e-5);
+        }
+    }
+}
