@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin ablation`
 
-use fc_bench::{render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::OptLevel;
 use fc_crystal::Sample;
 use fc_train::{
@@ -20,6 +20,7 @@ use fc_train::{
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Ablation studies (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let test: Vec<&Sample> = data.test_samples();
@@ -96,7 +97,9 @@ fn main() {
         sample_cov: 0.15,
     };
     let mut rows = Vec::new();
-    for (name, overlap) in [("no overlap", 0.0), ("60% overlap (paper)", 0.6), ("full overlap", 1.0)] {
+    for (name, overlap) in
+        [("no overlap", 0.0), ("60% overlap (paper)", 0.6), ("full overlap", 1.0)]
+    {
         let model = ScalingModel { comm: CommModel { overlap, ..base.comm }, ..base };
         let strong = model.strong_scaling(&[4, 8, 16, 32], 1_422_355, 2048, 3500.0);
         let eff = strong_efficiency(&strong);
@@ -109,4 +112,11 @@ fn main() {
     let path = reports_dir().join("ablation.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("ablation", cfg.seed);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("epochs", scale.epochs)
+        .set_meta("global_batch", scale.global_batch);
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

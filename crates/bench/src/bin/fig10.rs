@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig10`
 
-use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, fmt_secs, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::OptLevel;
 use fc_crystal::stats::coefficient_of_variance;
 use fc_crystal::Sample;
@@ -20,11 +20,11 @@ use fc_train::{
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Fig. 10 reproduction: strong & weak scaling (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let samples: Vec<&Sample> = data.samples.iter().collect();
-    let features: Vec<f64> =
-        samples.iter().map(|s| s.graph.feature_number() as f64).collect();
+    let features: Vec<f64> = samples.iter().map(|s| s.graph.feature_number() as f64).collect();
     let mean_features = features.iter().sum::<f64>() / features.len() as f64;
     let cov = coefficient_of_variance(&features);
 
@@ -46,7 +46,10 @@ fn main() {
         let load: f64 = batch.iter().map(|s| s.graph.feature_number() as f64).sum();
         xs.push(load);
         ts.push(stats.device_compute[0]);
-        println!("  batch {bs:>3}: load {load:>8.0} features -> {}", fmt_secs(stats.device_compute[0]));
+        println!(
+            "  batch {bs:>3}: load {load:>8.0} features -> {}",
+            fmt_secs(stats.device_compute[0])
+        );
     }
     let (t_fixed, per_feature) = fc_train::fit_linear(&xs, &ts);
     // The interconnect model is A100-cluster calibrated, so the compute
@@ -55,10 +58,8 @@ fn main() {
     // factor rescales the *measured* CPU throughput to the device class;
     // the scaling curves' shape is what the experiment checks (a
     // sensitivity row at half/double the factor is printed below).
-    let a100_factor: f64 = std::env::var("FASTCHGNET_A100_FACTOR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(250.0);
+    let a100_factor: f64 =
+        std::env::var("FASTCHGNET_A100_FACTOR").ok().and_then(|v| v.parse().ok()).unwrap_or(250.0);
     println!(
         "fit: t_step = {} + {:.3e} s/feature on this host (sample CoV {:.3}); A100 factor {a100_factor}\n",
         fmt_secs(t_fixed.max(0.0)),
@@ -82,7 +83,9 @@ fn main() {
     let paper_strong = [(4, 1.0, 1.0), (8, 1.65, 0.825), (16, 3.18, 0.795), (32, 5.26, 0.66)];
 
     let mut rows = Vec::new();
-    let mut tsv = String::from("mode\tdevices\tepoch_time_s\tspeedup\tefficiency\tpaper_speedup\tpaper_eff\n");
+    let mut tsv = String::from(
+        "mode\tdevices\tepoch_time_s\tspeedup\tefficiency\tpaper_speedup\tpaper_eff\n",
+    );
     for ((p, speedup, eff), (pp, ps, pe)) in strong_eff.iter().zip(&paper_strong) {
         assert_eq!(p, pp);
         rows.push(vec![
@@ -135,4 +138,12 @@ fn main() {
     let path = reports_dir().join("fig10.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("fig10", scale.dataset_cfg().seed);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("grad_bytes", model.grad_bytes)
+        .set_timing("fit_t_fixed", t_fixed.max(0.0))
+        .set_timing("fit_per_feature", per_feature);
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

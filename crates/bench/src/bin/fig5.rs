@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig5`
 
-use fc_bench::{ascii_bars, reports_dir, Scale};
+use fc_bench::{ascii_bars, emit_bench_report, reports_dir, start_telemetry, Scale};
 use fc_crystal::stats::{coefficient_of_variance, mean, GraphStats, Histogram};
 use fc_train::write_report;
 
@@ -17,11 +17,8 @@ fn panel(name: &str, values: &[f64], bins: usize, tsv: &mut String) {
         coefficient_of_variance(values),
         max - 1.0
     );
-    let labels: Vec<String> = h
-        .edges
-        .windows(2)
-        .map(|w| format!("[{:>6.0},{:>6.0})", w[0], w[1]))
-        .collect();
+    let labels: Vec<String> =
+        h.edges.windows(2).map(|w| format!("[{:>6.0},{:>6.0})", w[0], w[1])).collect();
     let counts: Vec<f64> = h.counts.iter().map(|&c| c as f64).collect();
     println!("{}", ascii_bars(&labels, &counts, 40));
     for (l, c) in labels.iter().zip(&h.counts) {
@@ -31,6 +28,7 @@ fn panel(name: &str, values: &[f64], bins: usize, tsv: &mut String) {
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Fig. 5 reproduction: dataset distribution (scale: {}) ==\n", scale.label);
     let data = scale.wide_dataset();
     let stats = GraphStats::collect(data.samples.iter());
@@ -55,4 +53,11 @@ fn main() {
     let path = reports_dir().join("fig5.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("fig5", scale.dataset_cfg().seed);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("n_samples", data.samples.len())
+        .set_meta("modal_angle_bin_frac", mode_frac);
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

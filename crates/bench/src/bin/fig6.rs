@@ -8,11 +8,11 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig6`
 
-use fc_bench::{render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::OptLevel;
 use fc_train::{train_model, write_report, LrPolicy, TrainConfig, TrainReport};
 
-fn run(scale: &Scale, data: &fc_crystal::SynthMPtrj, lr: f32) -> TrainReport {
+fn run(scale: &Scale, data: &fc_crystal::SynthMPtrj, lr: f32) -> (TrainConfig, TrainReport) {
     let cfg = TrainConfig {
         model: scale.model(OptLevel::Decoupled),
         seed: 13,
@@ -21,11 +21,13 @@ fn run(scale: &Scale, data: &fc_crystal::SynthMPtrj, lr: f32) -> TrainReport {
         lr: LrPolicy::Fixed(lr),
         ..Default::default()
     };
-    train_model(data, &cfg).1
+    let report = train_model(data, &cfg).1;
+    (cfg, report)
 }
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!(
         "== Fig. 6 reproduction: large-batch LR tuning (batch {}, scale: {}) ==\n",
         scale.large_batch, scale.label
@@ -37,15 +39,13 @@ fn main() {
     // "Default" keeps the small-batch LR despite the larger batch (the
     // paper's red curve); "scaled" applies Eq. 14 (blue curve).
     println!("training with default (un-scaled) LR {} ...", scale.base_lr);
-    let default_run = run(&scale, &data, scale.base_lr);
+    let (_, default_run) = run(&scale, &data, scale.base_lr);
     let scaled = scale.scaled_lr(scale.large_batch);
     println!("training with Eq. 14 scaled LR {scaled} ...");
-    let scaled_run = run(&scale, &data, scaled);
+    let (scaled_cfg, scaled_run) = run(&scale, &data, scaled);
 
     let mut rows = Vec::new();
-    let mut tsv = String::from(
-        "epoch\tpolicy\te_mae_meV\tf_mae_meV\ts_mae_GPa\tm_mae_mmuB\n",
-    );
+    let mut tsv = String::from("epoch\tpolicy\te_mae_meV\tf_mae_meV\ts_mae_GPa\tm_mae_mmuB\n");
     for (name, report) in [("default", &default_run), ("scaled", &scaled_run)] {
         for l in &report.epochs {
             tsv.push_str(&format!(
@@ -106,4 +106,9 @@ fn main() {
     let path = reports_dir().join("fig6.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    // The scaled (blue-curve) run's full per-epoch trainer report.
+    let mut report = scaled_run.run_report("fig6", &scaled_cfg);
+    report.set_meta("scale", scale.label).set_meta("lr_policy", "eq14_scaled");
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

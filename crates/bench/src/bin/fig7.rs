@@ -3,12 +3,13 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig7`
 
-use fc_bench::{render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::ModelVariant;
 use fc_train::{evaluate_with_scatter, train_model, write_report, LrPolicy, TrainConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Fig. 7 reproduction: parity plots (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let test = data.test_samples();
@@ -26,8 +27,7 @@ fn main() {
             ..Default::default()
         };
         let (cluster, _) = train_model(&data, &cfg);
-        let (metrics, scatter) =
-            evaluate_with_scatter(&cluster.model, &cluster.store, &test, 8);
+        let (metrics, scatter) = evaluate_with_scatter(&cluster.model, &cluster.store, &test, 8);
         println!("  -> {}", metrics.summary());
         rows.push(vec![
             variant.label().to_string(),
@@ -55,4 +55,8 @@ fn main() {
     let path = reports_dir().join("fig7.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("parity data written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("fig7", 7);
+    report.set_meta("scale", scale.label).set_meta("epochs", scale.epochs);
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig8`
 
-use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, fmt_secs, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::{Chgnet, OptLevel};
 use fc_crystal::{GraphBatch, Sample};
 use fc_tensor::{ParamStore, Tape};
@@ -60,10 +60,10 @@ fn measure(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Scale) ->
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Fig. 8 reproduction: step-by-step optimization (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
-    let batch_sizes: &[usize] =
-        if scale.label == "full" { &[16, 32, 64] } else { &[8, 16] };
+    let batch_sizes: &[usize] = if scale.label == "full" { &[16, 32, 64] } else { &[8, 16] };
 
     let mut rows = Vec::new();
     let mut tsv =
@@ -125,4 +125,11 @@ fn main() {
     let path = reports_dir().join("fig8.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("fig8", scale.dataset_cfg().seed);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("batch_sizes", format!("{batch_sizes:?}"))
+        .set_meta("timing_iters", scale.timing_iters);
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

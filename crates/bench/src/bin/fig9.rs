@@ -6,12 +6,13 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig9`
 
-use fc_bench::{render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
 use fc_crystal::stats::mean;
 use fc_train::{device_loads, epoch_batches, load_cov, partition, write_report, SamplerKind};
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     let n_devices = 4usize;
     let mini_batch = 32usize; // per device, as in the paper
     let global = n_devices * mini_batch;
@@ -20,8 +21,7 @@ fn main() {
         n_devices, mini_batch, scale.label
     );
     let data = scale.wide_dataset();
-    let features: Vec<usize> =
-        data.samples.iter().map(|s| s.graph.feature_number()).collect();
+    let features: Vec<usize> = data.samples.iter().map(|s| s.graph.feature_number()).collect();
 
     let iters = (features.len() / global).max(1).min(40);
     let batches = epoch_batches(features.len(), global, 99);
@@ -54,11 +54,7 @@ fn main() {
     }
 
     let rows = vec![
-        vec![
-            "default".to_string(),
-            format!("{:.3}", mean(&covs_default)),
-            "0.186".to_string(),
-        ],
+        vec!["default".to_string(), format!("{:.3}", mean(&covs_default)), "0.186".to_string()],
         vec![
             "load balance".to_string(),
             format!("{:.3}", mean(&covs_balanced)),
@@ -80,4 +76,13 @@ fn main() {
     let path = reports_dir().join("fig9.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("per-device series written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("fig9", 99);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("n_devices", n_devices)
+        .set_meta("mini_batch", mini_batch)
+        .set_meta("cov_default", mean(&covs_default))
+        .set_meta("cov_balanced", mean(&covs_balanced));
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

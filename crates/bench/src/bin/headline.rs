@@ -6,20 +6,28 @@
 //! This binary reproduces the *decomposition* on the simulated platform:
 //! it measures the single-device optimization ladder on real iterations,
 //! calibrates the per-device compute model, and composes it with the
-//! 32-GPU scaling projection.
+//! 32-GPU scaling projection. The whole run is traced through
+//! `fc_telemetry` and emitted as `reports/BENCH_headline.json`.
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin headline`
 
-use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, fmt_secs, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::{Chgnet, OptLevel};
 use fc_crystal::{GraphBatch, Sample};
 use fc_tensor::{ParamStore, Tape};
 use fc_train::{
-    composite_loss, strong_efficiency, write_report, Adam, CommModel, LossWeights, ScalingModel,
+    composite_loss, strong_efficiency, write_report, Adam, Cluster, ClusterConfig, CommModel,
+    LossWeights, ScalingModel,
 };
 use std::time::Instant;
 
-fn iteration_time(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Scale) -> f64 {
+fn iteration_time(
+    level: OptLevel,
+    span_name: &'static str,
+    samples: &[&Sample],
+    iters: usize,
+    scale: &Scale,
+) -> f64 {
     let mut store = ParamStore::new();
     let model = Chgnet::new(scale.model(level), &mut store, 3);
     let mut opt = Adam::new(&store, 1e-3);
@@ -32,13 +40,24 @@ fn iteration_time(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Sc
     for i in 0..=iters {
         let tape = Tape::new();
         let t0 = Instant::now();
-        let pred = model.forward(&tape, &store, &batch);
-        let loss = composite_loss(&tape, &pred, bl, &w);
+        let iter_span = fc_telemetry::span(span_name);
+        let loss = {
+            let _fwd = fc_telemetry::bridge::profiled_span("forward", tape.profiler());
+            let pred = model.forward(&tape, &store, &batch);
+            composite_loss(&tape, &pred, bl, &w)
+        };
         store.zero_grads();
-        let gm = tape.backward(loss.total);
-        store.accumulate_grads(&tape, &gm);
-        opt.step(&mut store);
-        store.zero_grads();
+        let gm = {
+            let _bwd = fc_telemetry::bridge::profiled_span("backward", tape.profiler());
+            tape.backward(loss.total)
+        };
+        {
+            let _opt = fc_telemetry::span("optimizer");
+            store.accumulate_grads(&tape, &gm);
+            opt.step(&mut store);
+            store.zero_grads();
+        }
+        drop(iter_span);
         let dt = t0.elapsed().as_secs_f64();
         tape.reset();
         if i > 0 {
@@ -50,6 +69,7 @@ fn iteration_time(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Sc
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Headline decomposition (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let bs = 16.min(data.samples.len());
@@ -57,11 +77,27 @@ fn main() {
 
     // Stage 1: single-device ladder.
     println!("measuring single-device iteration times (batch {bs}) ...");
-    let t_ref = iteration_time(OptLevel::Reference, &samples, scale.timing_iters, &scale);
-    let t_fused = iteration_time(OptLevel::Fusion, &samples, scale.timing_iters, &scale);
-    let t_head = iteration_time(OptLevel::Decoupled, &samples, scale.timing_iters, &scale);
+    let iters = scale.timing_iters;
+    let t_ref = iteration_time(OptLevel::Reference, "iter_reference", &samples, iters, &scale);
+    let t_fused = iteration_time(OptLevel::Fusion, "iter_fused", &samples, iters, &scale);
+    let t_head = iteration_time(OptLevel::Decoupled, "iter_decoupled", &samples, iters, &scale);
     let sys_speedup = t_ref / t_fused;
     let head_speedup = t_fused / t_head;
+
+    // Stage 1b: a short data-parallel section so the report carries the
+    // cluster's allreduce span, per-rank atom counters, and the
+    // load-imbalance gauge alongside the single-device ladder.
+    let cluster_devices = 4usize;
+    println!("running {cluster_devices}-device cluster steps ...");
+    let mut cluster = Cluster::new(
+        scale.model(OptLevel::Decoupled),
+        3,
+        ClusterConfig { n_devices: cluster_devices, ..Default::default() },
+        1e-3,
+    );
+    for _ in 0..2 {
+        cluster.train_step(&samples);
+    }
 
     // Stage 2: multi-GPU scaling on top (efficiency-weighted 32 GPUs
     // relative to 1, through the 4-GPU anchor like the paper).
@@ -77,11 +113,8 @@ fn main() {
         grad_bytes: 430_000 * 4,
         sample_cov: 0.15,
     };
-    let mean_features = samples
-        .iter()
-        .map(|s| s.graph.feature_number() as f64)
-        .sum::<f64>()
-        / samples.len() as f64;
+    let mean_features =
+        samples.iter().map(|s| s.graph.feature_number() as f64).sum::<f64>() / samples.len() as f64;
     let rows = model.strong_scaling(&[1, 4, 8, 16, 32], 100_000, 2048, mean_features);
     let eff = strong_efficiency(&rows);
     let scale32 = eff.last().unwrap().1; // speedup of 32 over 1 device
@@ -125,4 +158,26 @@ fn main() {
     let path = reports_dir().join("headline.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    // Structured run report. Measured durations and everything derived
+    // from them live in the timing section; meta stays deterministic for
+    // a fixed seed/scale.
+    let mut report = fc_telemetry::RunReport::new("headline", scale.dataset_cfg().seed);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("batch", bs)
+        .set_meta("n_structures", scale.n_structures)
+        .set_meta("timing_iters", iters)
+        .set_meta("cluster_devices", cluster_devices)
+        .set_meta("a100_factor", a100_factor as u64)
+        .set_meta("mean_features", mean_features.round() as u64)
+        .set_timing("iter_reference", t_ref)
+        .set_timing("iter_fused", t_fused)
+        .set_timing("iter_decoupled", t_head)
+        .set_timing("speedup_systems", sys_speedup)
+        .set_timing("speedup_decoupling", head_speedup)
+        .set_timing("speedup_scaling32", scale32)
+        .set_timing("speedup_total", total);
+    let jpath = emit_bench_report(&report);
+    println!("telemetry report written to {}", jpath.display());
 }

@@ -7,12 +7,13 @@
 //! Run: `cargo run --release -p fastchgnet-bench --bin table1`
 //! (`FASTCHGNET_SCALE=full` for the larger setting).
 
-use fc_bench::{render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::ModelVariant;
 use fc_train::{train_model, write_report, LrPolicy, TrainConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Table I reproduction (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     println!(
@@ -30,8 +31,7 @@ fn main() {
         ("FastCHGNet F/S head", "429.1K", 16.0, 73.0, 0.479, 36.0),
     ];
 
-    let variants =
-        [ModelVariant::Reference, ModelVariant::FastNoHead, ModelVariant::FastHead];
+    let variants = [ModelVariant::Reference, ModelVariant::FastNoHead, ModelVariant::FastHead];
     let mut rows = Vec::new();
     let mut tsv = String::from(
         "model\tparams\te_mae_meV_atom\tf_mae_meV_A\ts_mae_GPa\tm_mae_mmuB\tsim_hours\n",
@@ -84,4 +84,11 @@ fn main() {
     let path = reports_dir().join("table1.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("table1", 7);
+    report
+        .set_meta("scale", scale.label)
+        .set_meta("epochs", scale.epochs)
+        .set_meta("variants", variants.len());
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

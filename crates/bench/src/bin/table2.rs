@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin table2`
 
-use fc_bench::{fmt_secs, render_table, reports_dir, Scale};
+use fc_bench::{emit_bench_report, fmt_secs, render_table, reports_dir, start_telemetry, Scale};
 use fc_core::{Chgnet, OptLevel};
 use fc_crystal::{known, CrystalGraph, Structure};
 use fc_md::{time_md_step, Calculator};
@@ -12,6 +12,7 @@ use fc_train::write_report;
 
 fn main() {
     let scale = Scale::from_env();
+    start_telemetry();
     println!("== Table II reproduction (scale: {}) ==\n", scale.label);
 
     let systems: [(&str, Structure, f64, f64, f64); 3] = [
@@ -29,8 +30,10 @@ fn main() {
     let fast_calc = Calculator::new(&fast_model, &fast_store);
 
     let mut rows = Vec::new();
-    let mut tsv =
-        String::from("crystal\tatoms\tbonds\tangles\tchgnet_s\tfastchgnet_s\tspeedup\tpaper_speedup\n");
+    let mut md_times: Vec<(String, f64, f64)> = Vec::new();
+    let mut tsv = String::from(
+        "crystal\tatoms\tbonds\tangles\tchgnet_s\tfastchgnet_s\tspeedup\tpaper_speedup\n",
+    );
     for (name, structure, paper_ref, paper_fast, paper_speedup) in systems {
         let graph = CrystalGraph::new(structure.clone());
         let (na, nb, nang) = (graph.n_atoms(), graph.n_bonds(), graph.n_angles());
@@ -50,6 +53,7 @@ fn main() {
         tsv.push_str(&format!(
             "{name}\t{na}\t{nb}\t{nang}\t{t_ref:.6}\t{t_fast:.6}\t{speedup:.3}\t{paper_speedup}\n"
         ));
+        md_times.push((name.to_string(), t_ref, t_fast));
         let _ = (paper_ref, paper_fast);
     }
 
@@ -60,10 +64,17 @@ fn main() {
             &rows
         )
     );
-    println!(
-        "(paper: CHGNet 0.021-0.023 s, FastCHGNet 0.0076-0.0077 s per MD step on A100)"
-    );
+    println!("(paper: CHGNet 0.021-0.023 s, FastCHGNet 0.0076-0.0077 s per MD step on A100)");
     let path = reports_dir().join("table2.tsv");
     write_report(&path, &tsv).expect("write report");
     println!("report written to {}", path.display());
+
+    let mut report = fc_telemetry::RunReport::new("table2", 11);
+    report.set_meta("scale", scale.label).set_meta("timing_iters", scale.timing_iters);
+    for (name, t_ref, t_fast) in &md_times {
+        report
+            .set_timing(format!("{name}_chgnet_step"), *t_ref)
+            .set_timing(format!("{name}_fastchgnet_step"), *t_fast);
+    }
+    println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

@@ -133,6 +133,23 @@ pub fn reports_dir() -> PathBuf {
     p
 }
 
+/// Switch the global telemetry collector on with a clean slate. Every
+/// bench binary calls this first so its `BENCH_*.json` reflects only the
+/// run at hand.
+pub fn start_telemetry() {
+    fc_telemetry::reset();
+    fc_telemetry::set_enabled(true);
+}
+
+/// Emit a bench run report to `reports/BENCH_<name>.json` (JSONL event
+/// stream, see DESIGN.md) and return the path written.
+pub fn emit_bench_report(report: &fc_telemetry::RunReport) -> PathBuf {
+    use fc_telemetry::Sink;
+    let path = reports_dir().join(format!("BENCH_{}.json", report.name));
+    fc_telemetry::JsonlSink::new(&path).emit(report).expect("write bench report");
+    path
+}
+
 /// Render an aligned plain-text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncol = headers.len();
@@ -145,11 +162,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |\n", padded.join(" | "))
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
@@ -212,10 +226,7 @@ mod tests {
     fn table_rendering_aligns() {
         let t = render_table(
             &["model", "mae"],
-            &[
-                vec!["CHGNet".into(), "29".into()],
-                vec!["FastCHGNet".into(), "16".into()],
-            ],
+            &[vec!["CHGNet".into(), "29".into()], vec!["FastCHGNet".into(), "16".into()]],
         );
         assert!(t.contains("| model"));
         assert!(t.lines().count() == 4);
@@ -228,6 +239,19 @@ mod tests {
         let b = ascii_bars(&["a".into(), "b".into()], &[1.0, 2.0], 10);
         assert!(b.contains("##########"));
         assert!(b.lines().count() == 2);
+    }
+
+    #[test]
+    fn bench_report_lands_in_reports_dir() {
+        let dir = std::env::temp_dir().join("fc_bench_report_test");
+        std::env::set_var("FASTCHGNET_REPORTS", &dir);
+        let report = fc_telemetry::RunReport::with_snapshot("libtest", 3, Default::default());
+        let path = emit_bench_report(&report);
+        std::env::remove_var("FASTCHGNET_REPORTS");
+        assert!(path.ends_with("BENCH_libtest.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"event\":\"run\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -162,10 +162,7 @@ mod tests {
             raw += (s.labels.energy / n).abs();
             resid += ((s.labels.energy - ar.energy_of(&s.graph.structure.species)) / n).abs();
         }
-        assert!(
-            resid < raw * 0.5,
-            "residual {resid:.3} not much below raw {raw:.3}"
-        );
+        assert!(resid < raw * 0.5, "residual {resid:.3} not much below raw {raw:.3}");
     }
 
     #[test]

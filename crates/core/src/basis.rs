@@ -62,7 +62,12 @@ impl ModelConfig {
 /// Compute geometry + basis for `batch` at the config's optimization
 /// level. `need_derivatives` makes positions (and strain) differentiable
 /// inputs for the energy-derivative force/stress path.
-pub fn compute_basis(tape: &Tape, batch: &GraphBatch, cfg: &ModelConfig, need_derivatives: bool) -> BasisOut {
+pub fn compute_basis(
+    tape: &Tape,
+    batch: &GraphBatch,
+    cfg: &ModelConfig,
+    need_derivatives: bool,
+) -> BasisOut {
     let geom_inputs = make_inputs(tape, batch, need_derivatives);
     if cfg.opt_level.batched_basis() {
         batched_basis(tape, batch, cfg, geom_inputs)
@@ -104,7 +109,12 @@ fn make_inputs(tape: &Tape, batch: &GraphBatch, need_derivatives: bool) -> GeomI
 }
 
 /// Alg. 2: one batched pass over the flat arrays.
-fn batched_basis(tape: &Tape, batch: &GraphBatch, cfg: &ModelConfig, inputs: GeomInputs) -> BasisOut {
+fn batched_basis(
+    tape: &Tape,
+    batch: &GraphBatch,
+    cfg: &ModelConfig,
+    inputs: GeomInputs,
+) -> BasisOut {
     let image = tape.constant(batch.bond_image.clone());
     // Line 13: B_r_j += B_I @ B_L as a block-diagonal GEMM.
     let offset = tape.block_diag_matmul(image, inputs.lattices, batch.bond_graph.clone(), false);
@@ -131,7 +141,12 @@ fn batched_basis(tape: &Tape, batch: &GraphBatch, cfg: &ModelConfig, inputs: Geo
 }
 
 /// Alg. 1: loop over graphs, compute per-graph, concatenate at the end.
-fn serial_basis(tape: &Tape, batch: &GraphBatch, cfg: &ModelConfig, inputs: GeomInputs) -> BasisOut {
+fn serial_basis(
+    tape: &Tape,
+    batch: &GraphBatch,
+    cfg: &ModelConfig,
+    inputs: GeomInputs,
+) -> BasisOut {
     let mut vecs = Vec::with_capacity(batch.n_graphs);
     let mut rs = Vec::with_capacity(batch.n_graphs);
     let mut thetas = Vec::new();
@@ -157,8 +172,10 @@ fn serial_basis(tape: &Tape, batch: &GraphBatch, cfg: &ModelConfig, inputs: Geom
             tape.constant(Tensor::from_vec(Shape::new(n_bonds, 3), v))
         };
         // Local bond endpoint indices.
-        let li: Arc<[u32]> = batch.bond_i[b0..b1].iter().map(|&x| x - a0 as u32).collect::<Vec<_>>().into();
-        let lj: Arc<[u32]> = batch.bond_j[b0..b1].iter().map(|&x| x - a0 as u32).collect::<Vec<_>>().into();
+        let li: Arc<[u32]> =
+            batch.bond_i[b0..b1].iter().map(|&x| x - a0 as u32).collect::<Vec<_>>().into();
+        let lj: Arc<[u32]> =
+            batch.bond_j[b0..b1].iter().map(|&x| x - a0 as u32).collect::<Vec<_>>().into();
         let off = tape.matmul(img_rows, lat_g);
         let xi = tape.gather(pos_g, li);
         let xj = tape.gather(pos_g, lj);
@@ -261,9 +278,8 @@ fn radial_basis(tape: &Tape, cfg: &ModelConfig, r: Var) -> Var {
     let t2 = tape.scale(tape.powi(xi, p + 2), -pf * (pf + 1.0) / 2.0);
     let u = tape.add_scalar(tape.add(tape.add(t0, t1), t2), 1.0);
     // sin(k π r / r_cut) / r for k = 1..n_rbf.
-    let freqs: Vec<f32> = (1..=cfg.n_rbf)
-        .map(|k| k as f32 * std::f32::consts::PI / cfg.atom_cutoff)
-        .collect();
+    let freqs: Vec<f32> =
+        (1..=cfg.n_rbf).map(|k| k as f32 * std::f32::consts::PI / cfg.atom_cutoff).collect();
     let f = tape.constant(Tensor::row_vec(&freqs));
     let wr = tape.matmul(r, f);
     let s = tape.sin(wr);
@@ -421,8 +437,7 @@ mod tests {
         for (b, &g) in batch.bond_graph.iter().enumerate() {
             for a in 0..3 {
                 for c in 0..3 {
-                    *expect.at_mut(g as usize * 3 + a, c) +=
-                        2.0 * vecs.at(b, a) * vecs.at(b, c);
+                    *expect.at_mut(g as usize * 3 + a, c) += 2.0 * vecs.at(b, a) * vecs.at(b, c);
                 }
             }
         }

@@ -34,10 +34,8 @@ impl Embeddings {
     /// Register embedding parameters.
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &ModelConfig) -> Self {
         // Row z = embedding of atomic number z (row 0 unused).
-        let atom_table = store.add(
-            "embedding.atom_table",
-            init::normal(rng, cfg.max_z + 1, cfg.fea, 0.0, 0.5),
-        );
+        let atom_table =
+            store.add("embedding.atom_table", init::normal(rng, cfg.max_z + 1, cfg.fea, 0.0, 0.5));
         let bond_pack = Linear::new(store, rng, "embedding.bond_pack", cfg.n_rbf, 3 * cfg.fea);
         let angle_lin = Linear::new(store, rng, "embedding.angle_lin", cfg.n_abf(), cfg.fea);
         Embeddings { atom_table, bond_pack, angle_lin, fea: cfg.fea }

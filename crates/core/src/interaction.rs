@@ -19,7 +19,14 @@ pub struct AtomConv {
 impl AtomConv {
     fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &ModelConfig) -> Self {
         AtomConv {
-            gated: GatedMlp::new(store, rng, &format!("{name}.gated"), 3 * cfg.fea, cfg.fea, cfg.ln_eps),
+            gated: GatedMlp::new(
+                store,
+                rng,
+                &format!("{name}.gated"),
+                3 * cfg.fea,
+                cfg.fea,
+                cfg.ln_eps,
+            ),
             out: Linear::new(store, rng, &format!("{name}.out"), cfg.fea, cfg.fea),
         }
     }
@@ -56,7 +63,14 @@ pub struct BondConv {
 impl BondConv {
     fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &ModelConfig) -> Self {
         BondConv {
-            gated: GatedMlp::new(store, rng, &format!("{name}.gated"), 4 * cfg.fea, cfg.fea, cfg.ln_eps),
+            gated: GatedMlp::new(
+                store,
+                rng,
+                &format!("{name}.gated"),
+                4 * cfg.fea,
+                cfg.fea,
+                cfg.ln_eps,
+            ),
             out: Linear::new(store, rng, &format!("{name}.out"), cfg.fea, cfg.fea),
         }
     }
@@ -91,7 +105,14 @@ pub struct AngleUpdate {
 impl AngleUpdate {
     fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &ModelConfig) -> Self {
         AngleUpdate {
-            gated: GatedMlp::new(store, rng, &format!("{name}.gated"), 4 * cfg.fea, cfg.fea, cfg.ln_eps),
+            gated: GatedMlp::new(
+                store,
+                rng,
+                &format!("{name}.gated"),
+                4 * cfg.fea,
+                cfg.fea,
+                cfg.ln_eps,
+            ),
         }
     }
 

@@ -100,9 +100,13 @@ impl Chgnet {
 
     /// Full forward pass over a collated batch.
     pub fn forward(&self, tape: &Tape, store: &ParamStore, batch: &GraphBatch) -> Prediction {
+        let _span = fc_telemetry::span("model_forward");
         let fused = self.cfg.opt_level.fused();
         let need_derivatives = self.uses_derivatives();
-        let basis = compute_basis(tape, batch, &self.cfg, need_derivatives);
+        let basis = {
+            let _basis_span = fc_telemetry::span("basis");
+            compute_basis(tape, batch, &self.cfg, need_derivatives)
+        };
 
         // Feature embedding (Eq. 2).
         let mut v = self.embeddings.atoms(tape, store, &batch.atom_z);
@@ -125,8 +129,7 @@ impl Chgnet {
             energy = tape.add(energy, off);
         }
         let magmom = self.magmom_head.forward(tape, store, v);
-        let (forces, stress) = if let (Some(fh), Some(sh)) = (&self.force_head, &self.stress_head)
-        {
+        let (forces, stress) = if let (Some(fh), Some(sh)) = (&self.force_head, &self.stress_head) {
             (
                 fh.forward(tape, store, e, basis.geom.bond_vec, batch),
                 sh.forward(tape, store, v, batch),
@@ -313,11 +316,8 @@ mod tests {
         // A single-atom cell: every bond pairs with its mirror image at
         // exactly θ = π. The derivative model must still produce finite
         // forces and finite second-order parameter gradients.
-        let s = Structure::new(
-            fc_crystal::Lattice::cubic(2.6),
-            vec![Element::new(26)],
-            vec![[0.0; 3]],
-        );
+        let s =
+            Structure::new(fc_crystal::Lattice::cubic(2.6), vec![Element::new(26)], vec![[0.0; 3]]);
         let b = batch_of(&s);
         assert!(b.n_angles > 0, "test needs angles");
         let (m, mut store) = tiny_model(OptLevel::Fusion, 3);

@@ -16,7 +16,13 @@ pub struct Linear {
 
 impl Linear {
     /// Register a Xavier-initialised linear layer under `name`.
-    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, out_dim: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
         let w = store.add(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
         let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
         Linear { w, b, in_dim, out_dim }

@@ -94,6 +94,8 @@ impl GraphBatch {
     /// different from `graphs`.
     pub fn collate(graphs: &[&CrystalGraph], labels: Option<&[&Labels]>) -> GraphBatch {
         assert!(!graphs.is_empty(), "cannot collate an empty batch");
+        let _span = fc_telemetry::span("collate");
+        fc_telemetry::counter_add("crystal.collated_graphs", graphs.len() as u64);
         if let Some(ls) = labels {
             assert_eq!(ls.len(), graphs.len(), "labels/graphs length mismatch");
         }

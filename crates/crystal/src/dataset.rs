@@ -89,6 +89,8 @@ impl SynthMPtrj {
     /// labelling parallelise across rayon workers.
     pub fn generate(cfg: &DatasetConfig) -> SynthMPtrj {
         assert!(cfg.n_structures > 0 && cfg.frames > 0, "empty dataset config");
+        let _span = fc_telemetry::span("dataset_generate");
+        fc_telemetry::counter_add("crystal.generated_structures", cfg.n_structures as u64);
         let samples: Vec<Sample> = (0..cfg.n_structures)
             .into_par_iter()
             .flat_map_iter(|i| {
@@ -154,26 +156,26 @@ impl SynthMPtrj {
 fn element_weights() -> [f32; N_ELEMENTS] {
     let mut w = [1.0f32; N_ELEMENTS];
     let boosts: [(u8, f32); 20] = [
-        (8, 30.0),  // O
-        (3, 15.0),  // Li
-        (26, 8.0),  // Fe
-        (25, 6.0),  // Mn
-        (15, 6.0),  // P
-        (14, 6.0),  // Si
-        (1, 6.0),   // H
-        (12, 5.0),  // Mg
-        (11, 5.0),  // Na
-        (16, 5.0),  // S
-        (27, 4.0),  // Co
-        (28, 4.0),  // Ni
-        (22, 4.0),  // Ti
-        (9, 4.0),   // F
-        (7, 4.0),   // N
-        (20, 4.0),  // Ca
-        (13, 4.0),  // Al
-        (29, 3.0),  // Cu
-        (19, 3.0),  // K
-        (23, 3.0),  // V
+        (8, 30.0), // O
+        (3, 15.0), // Li
+        (26, 8.0), // Fe
+        (25, 6.0), // Mn
+        (15, 6.0), // P
+        (14, 6.0), // Si
+        (1, 6.0),  // H
+        (12, 5.0), // Mg
+        (11, 5.0), // Na
+        (16, 5.0), // S
+        (27, 4.0), // Co
+        (28, 4.0), // Ni
+        (22, 4.0), // Ti
+        (9, 4.0),  // F
+        (7, 4.0),  // N
+        (20, 4.0), // Ca
+        (13, 4.0), // Al
+        (29, 3.0), // Cu
+        (19, 3.0), // K
+        (23, 3.0), // V
     ];
     for (z, b) in boosts {
         w[z as usize - 1] = b;
@@ -220,8 +222,7 @@ pub fn sane_random_structure(rng: &mut StdRng, cfg: &DatasetConfig) -> Structure
     for _attempt in 0..8 {
         let s = random_structure_with_boost(rng, cfg, volume_boost);
         let ok_sep = min_separation_ratio(&s) > 0.8;
-        let ok_energy =
-            crate::oracle::evaluate(&s).energy_per_atom_abs() < MAX_ABS_E_PER_ATOM;
+        let ok_energy = crate::oracle::evaluate(&s).energy_per_atom_abs() < MAX_ABS_E_PER_ATOM;
         if ok_sep && ok_energy {
             return s;
         }
@@ -260,7 +261,11 @@ pub fn random_structure(rng: &mut StdRng, cfg: &DatasetConfig) -> Structure {
     random_structure_with_boost(rng, cfg, 1.0)
 }
 
-fn random_structure_with_boost(rng: &mut StdRng, cfg: &DatasetConfig, volume_boost: f64) -> Structure {
+fn random_structure_with_boost(
+    rng: &mut StdRng,
+    cfg: &DatasetConfig,
+    volume_boost: f64,
+) -> Structure {
     let weights = element_weights();
     let n_atoms = sample_n_atoms(rng, cfg);
 
@@ -281,11 +286,8 @@ fn random_structure_with_boost(rng: &mut StdRng, cfg: &DatasetConfig, volume_boo
     let mut m = [[0.0f64; 3]; 3];
     for (i, row) in m.iter_mut().enumerate() {
         for (j, x) in row.iter_mut().enumerate() {
-            *x = if i == j {
-                a * rng.gen_range(0.94..1.06)
-            } else {
-                a * rng.gen_range(-0.06..0.06)
-            };
+            *x =
+                if i == j { a * rng.gen_range(0.94..1.06) } else { a * rng.gen_range(-0.06..0.06) };
         }
     }
     let lattice = Lattice::new(m[0], m[1], m[2]);
@@ -348,8 +350,7 @@ mod tests {
         assert_eq!(d.test.len(), (n as f64 * 0.05).ceil() as usize);
         assert_eq!(d.val.len(), d.test.len());
         // No overlap.
-        let mut all: Vec<usize> =
-            d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
+        let mut all: Vec<usize> = d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n);

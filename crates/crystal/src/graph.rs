@@ -99,8 +99,7 @@ fn build_angles(structure: &Structure, bonds: &[Bond], bond_cutoff: f64) -> Vec<
                 let v1 = bonds[bi as usize].vec;
                 let v2 = bonds[bk as usize].vec;
                 let dot = v1[0] * v2[0] + v1[1] * v2[1] + v1[2] * v2[2];
-                let cos =
-                    (dot / (bonds[bi as usize].r * bonds[bk as usize].r)).clamp(-1.0, 1.0);
+                let cos = (dot / (bonds[bi as usize].r * bonds[bk as usize].r)).clamp(-1.0, 1.0);
                 angles.push(Angle { b_ij: bi, b_ik: bk, theta: cos.acos() });
             }
         }

@@ -130,11 +130,14 @@ mod tests {
                 .iter()
                 .zip(&s.frac_coords)
                 .map(|(e, f)| {
-                    (e.z(), [
-                        (f[0] * 1e6).round() as i64,
-                        (f[1] * 1e6).round() as i64,
-                        (f[2] * 1e6).round() as i64,
-                    ])
+                    (
+                        e.z(),
+                        [
+                            (f[0] * 1e6).round() as i64,
+                            (f[1] * 1e6).round() as i64,
+                            (f[2] * 1e6).round() as i64,
+                        ],
+                    )
                 })
                 .collect();
             v.sort();

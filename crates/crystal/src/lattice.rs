@@ -95,11 +95,8 @@ impl Lattice {
         for i in 0..3 {
             let b = self.m[(i + 1) % 3];
             let c = self.m[(i + 2) % 3];
-            let cross = [
-                b[1] * c[2] - b[2] * c[1],
-                b[2] * c[0] - b[0] * c[2],
-                b[0] * c[1] - b[1] * c[0],
-            ];
+            let cross =
+                [b[1] * c[2] - b[2] * c[1], b[2] * c[0] - b[0] * c[2], b[0] * c[1] - b[1] * c[0]];
             let area = (cross[0] * cross[0] + cross[1] * cross[1] + cross[2] * cross[2]).sqrt();
             let h = v / area.max(1e-12);
             out[i] = (cutoff / h).ceil() as i32;

@@ -148,11 +148,8 @@ pub fn evaluate(s: &Structure) -> Labels {
         }
     }
 
-    let magmoms = rho
-        .iter()
-        .zip(&params)
-        .map(|(&r, p)| p.mag_scale as f64 * (r / RHO_REF).tanh())
-        .collect();
+    let magmoms =
+        rho.iter().zip(&params).map(|(&r, p)| p.mag_scale as f64 * (r / RHO_REF).tanh()).collect();
 
     Labels { energy, forces, stress, magmoms }
 }
@@ -167,12 +164,7 @@ mod tests {
         Structure::new(
             Lattice::new([4.1, 0.1, 0.0], [0.0, 4.3, 0.2], [0.1, 0.0, 4.0]),
             vec![Element::new(3), Element::new(25), Element::new(8), Element::new(8)],
-            vec![
-                [0.05, 0.1, 0.0],
-                [0.5, 0.45, 0.5],
-                [0.25, 0.7, 0.25],
-                [0.75, 0.2, 0.75],
-            ],
+            vec![[0.05, 0.1, 0.0], [0.5, 0.45, 0.5], [0.25, 0.7, 0.25], [0.75, 0.2, 0.75]],
         )
     }
 
@@ -233,10 +225,17 @@ mod tests {
                 em[a][b] = -h;
                 // Strain both lattice and atom positions (positions follow
                 // fractional coords, so straining the lattice suffices).
-                let sp = Structure::new(s.lattice.strained(ep), s.species.clone(), s.frac_coords.clone());
-                let sm = Structure::new(s.lattice.strained(em), s.species.clone(), s.frac_coords.clone());
-                let fd = (evaluate(&sp).energy - evaluate(&sm).energy) / (2.0 * h)
-                    / s.volume()
+                let sp = Structure::new(
+                    s.lattice.strained(ep),
+                    s.species.clone(),
+                    s.frac_coords.clone(),
+                );
+                let sm = Structure::new(
+                    s.lattice.strained(em),
+                    s.species.clone(),
+                    s.frac_coords.clone(),
+                );
+                let fd = (evaluate(&sp).energy - evaluate(&sm).energy) / (2.0 * h) / s.volume()
                     * EV_PER_A3_TO_GPA;
                 let an = l.stress[a][b];
                 assert!(

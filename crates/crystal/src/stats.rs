@@ -40,12 +40,7 @@ impl Histogram {
 
     /// Index of the modal bin.
     pub fn mode_bin(&self) -> usize {
-        self.counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap_or(0)
     }
 }
 

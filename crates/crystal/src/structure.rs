@@ -65,7 +65,15 @@ impl Structure {
         counts.sort_by_key(|&(e, _)| e);
         counts
             .into_iter()
-            .map(|(e, c)| if c == 1 { e.symbol().to_string() } else { format!("{}{}", e.symbol(), c) })
+            .map(
+                |(e, c)| {
+                    if c == 1 {
+                        e.symbol().to_string()
+                    } else {
+                        format!("{}{}", e.symbol(), c)
+                    }
+                },
+            )
             .collect()
     }
 
@@ -122,14 +130,9 @@ impl Structure {
         for a in -1..=1 {
             for b in -1..=1 {
                 for c in -1..=1 {
-                    let img = self
-                        .lattice
-                        .frac_to_cart([a as f64, b as f64, c as f64]);
-                    let d = [
-                        xj[0] + img[0] - xi[0],
-                        xj[1] + img[1] - xi[1],
-                        xj[2] + img[2] - xi[2],
-                    ];
+                    let img = self.lattice.frac_to_cart([a as f64, b as f64, c as f64]);
+                    let d =
+                        [xj[0] + img[0] - xi[0], xj[1] + img[1] - xi[1], xj[2] + img[2] - xi[2]];
                     let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                     if r < best {
                         best = r;
@@ -166,11 +169,8 @@ mod tests {
 
     #[test]
     fn coords_wrap() {
-        let s = Structure::new(
-            Lattice::cubic(3.0),
-            vec![Element::new(3)],
-            vec![[1.25, -0.25, 2.0]],
-        );
+        let s =
+            Structure::new(Lattice::cubic(3.0), vec![Element::new(3)], vec![[1.25, -0.25, 2.0]]);
         let f = s.frac_coords[0];
         assert!((f[0] - 0.25).abs() < 1e-12);
         assert!((f[1] - 0.75).abs() < 1e-12);

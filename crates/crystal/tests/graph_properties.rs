@@ -1,18 +1,16 @@
 //! Property-based tests of the crystal substrate: neighbor lists, graphs
 //! and the oracle, fuzzed over random cells.
 
-use fc_crystal::{
-    evaluate, neighbor_list, CrystalGraph, Element, GraphBatch, Lattice, Structure,
-};
+use fc_crystal::{evaluate, neighbor_list, CrystalGraph, Element, GraphBatch, Lattice, Structure};
 use proptest::prelude::*;
 
 fn random_cell() -> impl Strategy<Value = Structure> {
     (
-        3.0f64..5.0,            // lattice constant
-        1u8..89,                // species 1
-        1u8..89,                // species 2
-        0.3f64..0.7,            // second-site fractional offset
-        -0.05f64..0.05,         // shear
+        3.0f64..5.0,    // lattice constant
+        1u8..89,        // species 1
+        1u8..89,        // species 2
+        0.3f64..0.7,    // second-site fractional offset
+        -0.05f64..0.05, // shear
     )
         .prop_map(|(a, z1, z2, f, shear)| {
             Structure::new(

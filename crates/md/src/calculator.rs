@@ -67,9 +67,7 @@ impl<'a> Calculator<'a> {
 }
 
 fn rows3(t: &Tensor) -> Vec<[f64; 3]> {
-    (0..t.rows())
-        .map(|r| [t.at(r, 0) as f64, t.at(r, 1) as f64, t.at(r, 2) as f64])
-        .collect()
+    (0..t.rows()).map(|r| [t.at(r, 0) as f64, t.at(r, 1) as f64, t.at(r, 2) as f64]).collect()
 }
 
 #[cfg(test)]

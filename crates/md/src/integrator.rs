@@ -164,13 +164,7 @@ mod tests {
             Lattice::cubic(20.0),
             vec![Element::new(8); 64],
             (0..64)
-                .map(|i| {
-                    [
-                        (i % 4) as f64 / 4.0,
-                        ((i / 4) % 4) as f64 / 4.0,
-                        (i / 16) as f64 / 4.0,
-                    ]
-                })
+                .map(|i| [(i % 4) as f64 / 4.0, ((i / 4) % 4) as f64 / 4.0, (i / 16) as f64 / 4.0])
                 .collect(),
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -191,11 +185,8 @@ mod tests {
     fn verlet_conserves_energy_in_harmonic_well() {
         // Single particle in an isotropic harmonic well around the cell
         // centre: E should be conserved to O(dt²).
-        let mut s = Structure::new(
-            Lattice::cubic(10.0),
-            vec![Element::new(8)],
-            vec![[0.45, 0.5, 0.5]],
-        );
+        let mut s =
+            Structure::new(Lattice::cubic(10.0), vec![Element::new(8)], vec![[0.45, 0.5, 0.5]]);
         let mut st = MdState::at_rest(&s);
         let k_spring = 2.0; // eV/Å²
         let centre = [5.0, 5.0, 5.0];

@@ -68,7 +68,11 @@ pub struct RelaxResult {
 }
 
 /// Relax atomic positions at fixed cell with FIRE.
-pub fn relax<F: ForceField + ?Sized>(field: &F, initial: &Structure, cfg: &FireConfig) -> RelaxResult {
+pub fn relax<F: ForceField + ?Sized>(
+    field: &F,
+    initial: &Structure,
+    cfg: &FireConfig,
+) -> RelaxResult {
     let n = initial.n_atoms();
     let mut structure = initial.clone();
     let mut v = vec![[0.0f64; 3]; n];
@@ -85,26 +89,16 @@ pub fn relax<F: ForceField + ?Sized>(field: &F, initial: &Structure, cfg: &FireC
         let f = &result.forces;
         let max_f = f.iter().flatten().fold(0.0f64, |m, &x| m.max(x.abs()));
         if max_f < cfg.f_tol {
-            return RelaxResult {
-                structure,
-                energies,
-                max_force: max_f,
-                converged: true,
-                steps,
-            };
+            return RelaxResult { structure, energies, max_force: max_f, converged: true, steps };
         }
 
         // Power P = F · v.
-        let p: f64 = f
-            .iter()
-            .zip(&v)
-            .map(|(fi, vi)| fi[0] * vi[0] + fi[1] * vi[1] + fi[2] * vi[2])
-            .sum();
+        let p: f64 =
+            f.iter().zip(&v).map(|(fi, vi)| fi[0] * vi[0] + fi[1] * vi[1] + fi[2] * vi[2]).sum();
         if p > 0.0 {
             // Mix velocity toward the force direction.
             let v_norm: f64 = v.iter().flatten().map(|x| x * x).sum::<f64>().sqrt();
-            let f_norm: f64 =
-                f.iter().flatten().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            let f_norm: f64 = f.iter().flatten().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
             for (vi, fi) in v.iter_mut().zip(f) {
                 for k in 0..3 {
                     vi[k] = (1.0 - alpha) * vi[k] + alpha * v_norm * fi[k] / f_norm;
@@ -165,11 +159,8 @@ mod tests {
         let last = *r.energies.last().unwrap();
         assert!(last < first, "energy went {first} -> {last}");
         // Force dropped substantially.
-        let f0 = fc_crystal::evaluate(&s)
-            .forces
-            .iter()
-            .flatten()
-            .fold(0.0f64, |m, &x| m.max(x.abs()));
+        let f0 =
+            fc_crystal::evaluate(&s).forces.iter().flatten().fold(0.0f64, |m, &x| m.max(x.abs()));
         assert!(r.max_force < f0, "force {f0} -> {}", r.max_force);
     }
 
@@ -177,7 +168,11 @@ mod tests {
     fn fire_converges_near_minimum() {
         // Start from an already-good geometry: should converge quickly.
         let s = perturbed_rocksalt();
-        let first = relax(&OracleField, &s, &FireConfig { max_steps: 150, f_tol: 0.08, ..Default::default() });
+        let first = relax(
+            &OracleField,
+            &s,
+            &FireConfig { max_steps: 150, f_tol: 0.08, ..Default::default() },
+        );
         if first.converged {
             let again = relax(
                 &OracleField,
@@ -192,7 +187,11 @@ mod tests {
     #[test]
     fn relax_respects_max_steps() {
         let s = perturbed_rocksalt();
-        let r = relax(&OracleField, &s, &FireConfig { max_steps: 3, f_tol: 1e-9, ..Default::default() });
+        let r = relax(
+            &OracleField,
+            &s,
+            &FireConfig { max_steps: 3, f_tol: 1e-9, ..Default::default() },
+        );
         assert!(!r.converged);
         assert_eq!(r.steps, 3);
     }

@@ -106,16 +106,23 @@ pub fn run_md<F: ForceField + ?Sized>(calc: &F, initial: &Structure, cfg: &MdCon
             frames.push(make_frame(step, potential, &state, &forces));
         }
         let t0 = Instant::now();
+        let _step_span = fc_telemetry::span("md_step");
         if let Ensemble::Nvt { t_kelvin, gamma } = cfg.ensemble {
+            let _thermo_span = fc_telemetry::span("thermostat");
             langevin_kick(&mut state, t_kelvin, gamma, cfg.dt_fs, &mut rng);
         }
         let mut new_potential = potential;
-        forces = velocity_verlet_step(&mut structure, &mut state, &forces, cfg.dt_fs, |s| {
-            let r = calc.compute(s);
-            new_potential = r.energy;
-            r.forces
-        });
+        {
+            let _int_span = fc_telemetry::span("integrate");
+            forces = velocity_verlet_step(&mut structure, &mut state, &forces, cfg.dt_fs, |s| {
+                let _force_span = fc_telemetry::span("force_eval");
+                let r = calc.compute(s);
+                new_potential = r.energy;
+                r.forces
+            });
+        }
         potential = new_potential;
+        drop(_step_span);
         step_time_acc += t0.elapsed().as_secs_f64();
     }
     frames.push(make_frame(cfg.steps, potential, &state, &forces));
@@ -128,7 +135,11 @@ pub fn run_md<F: ForceField + ?Sized>(calc: &F, initial: &Structure, cfg: &MdCon
 }
 
 /// Time one MD step precisely (after a warm-up step), for Table II.
-pub fn time_md_step<F: ForceField + ?Sized>(calc: &F, structure: &Structure, repeats: usize) -> f64 {
+pub fn time_md_step<F: ForceField + ?Sized>(
+    calc: &F,
+    structure: &Structure,
+    repeats: usize,
+) -> f64 {
     let cfg = MdConfig { steps: 1, init_t_kelvin: 100.0, ..Default::default() };
     // Warm-up.
     let _ = run_md(calc, structure, &cfg);
@@ -146,10 +157,7 @@ fn make_frame(step: usize, potential: f64, state: &MdState, forces: &[[f64; 3]])
         potential,
         kinetic: state.kinetic_energy(),
         temperature: state.temperature(),
-        max_force: forces
-            .iter()
-            .flatten()
-            .fold(0.0f64, |m, &f| m.max(f.abs())),
+        max_force: forces.iter().flatten().fold(0.0f64, |m, &f| m.max(f.abs())),
     }
 }
 
@@ -224,6 +232,33 @@ mod tests {
             (e_last - e0).abs() < 0.2 * ke_scale,
             "NVE drift {e0} -> {e_last} (KE scale {ke_scale})"
         );
+    }
+
+    #[test]
+    fn md_telemetry_spans_nest() {
+        let (model, store, s) = setup();
+        let calc = Calculator::new(&model, &store);
+        fc_telemetry::reset();
+        fc_telemetry::set_enabled(true);
+        let _ = run_md(
+            &calc,
+            &s,
+            &MdConfig {
+                steps: 3,
+                ensemble: Ensemble::Nvt { t_kelvin: 300.0, gamma: 0.1 },
+                ..Default::default()
+            },
+        );
+        let snap = fc_telemetry::snapshot();
+        fc_telemetry::set_enabled(false);
+        for path in
+            ["md_step", "md_step/thermostat", "md_step/integrate", "md_step/integrate/force_eval"]
+        {
+            assert!(snap.spans.contains_key(path), "missing span {path}");
+        }
+        assert!(snap.spans["md_step"].count >= 3);
+        // Verlet evaluates forces once per step.
+        assert!(snap.spans["md_step/integrate/force_eval"].count >= 3);
     }
 
     #[test]

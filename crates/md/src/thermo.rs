@@ -78,12 +78,7 @@ mod tests {
         let (rs, g) = rdf(&s, 5.0, 50);
         // First nonzero shell sits at r = 3 (the global max is ambiguous:
         // for simple cubic the first two delta shells have equal g).
-        let first = rs
-            .iter()
-            .zip(&g)
-            .find(|(_, &gv)| gv > 0.0)
-            .map(|(r, _)| *r)
-            .unwrap();
+        let first = rs.iter().zip(&g).find(|(_, &gv)| gv > 0.0).map(|(r, _)| *r).unwrap();
         assert!((first - 3.0).abs() < 0.2, "first shell at {first}");
         // g(r) = 0 below the first shell, and the r=3 bin is a strong peak.
         for (r, gv) in rs.iter().zip(&g) {
@@ -104,9 +99,7 @@ mod tests {
     fn msd_zero_for_static_and_grows_for_drift() {
         let still = vec![vec![[0.0; 3]; 4]; 3];
         assert!(msd(&still).iter().all(|&m| m == 0.0));
-        let moving: Vec<Vec<[f64; 3]>> = (0..3)
-            .map(|t| vec![[t as f64, 0.0, 0.0]; 4])
-            .collect();
+        let moving: Vec<Vec<[f64; 3]>> = (0..3).map(|t| vec![[t as f64, 0.0, 0.0]; 4]).collect();
         let m = msd(&moving);
         assert_eq!(m[0], 0.0);
         assert_eq!(m[1], 1.0);

@@ -1,0 +1,100 @@
+//! Bridge from the tensor engine's [`Profiler`] into the metrics registry.
+//!
+//! The tape's profiler counts launched kernels and live/peak buffer bytes
+//! (the paper's Fig. 8 axes). This module folds those counters into the
+//! global registry under a caller-chosen prefix, so a span like `forward`
+//! can carry `tensor.forward.kernels` / `tensor.forward.bytes_peak`
+//! alongside its duration.
+
+use crate::span::SpanGuard;
+use fc_tensor::{ProfileSnapshot, Profiler};
+
+/// Record a profile snapshot under `prefix`: kernel counts go to monotone
+/// counters (pass a [`ProfileSnapshot::since`] delta for per-phase
+/// numbers), byte levels go to gauges (`bytes_peak` keeps the maximum
+/// seen, `bytes_live` the latest level).
+pub fn record_profile(prefix: &str, snap: &ProfileSnapshot) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::counter_add(&format!("{prefix}.kernels"), snap.kernels);
+    crate::counter_add(&format!("{prefix}.fused_kernels"), snap.fused_kernels);
+    crate::gauge_max(&format!("{prefix}.bytes_peak"), snap.bytes_peak as f64);
+    crate::gauge_set(&format!("{prefix}.bytes_live"), snap.bytes_live as f64);
+}
+
+/// A span that also bridges the profiler counters accumulated while it
+/// was open: on drop, records the kernel delta and byte levels under
+/// `tensor.<name>.*`.
+#[must_use = "a profiled span records on drop; binding to `_` drops immediately"]
+pub struct ProfiledSpan<'p> {
+    profiler: Option<&'p Profiler>,
+    before: ProfileSnapshot,
+    name: &'static str,
+    // Declared last: the timing guard closes after the profile is recorded.
+    _guard: SpanGuard,
+}
+
+/// Open a [`ProfiledSpan`] over `profiler` (typically `tape.profiler()`).
+/// Inert while telemetry is disabled.
+pub fn profiled_span<'p>(name: &'static str, profiler: &'p Profiler) -> ProfiledSpan<'p> {
+    let enabled = crate::enabled();
+    ProfiledSpan {
+        profiler: enabled.then_some(profiler),
+        before: if enabled { profiler.snapshot() } else { ProfileSnapshot::default() },
+        name,
+        _guard: crate::span(name),
+    }
+}
+
+impl Drop for ProfiledSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(p) = self.profiler.take() {
+            let delta = p.snapshot().since(&self.before);
+            record_profile(&format!("tensor.{}", self.name), &delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_span_bridges_kernel_deltas() {
+        let _l = crate::tests::test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        let p = Profiler::new();
+        p.record_kernel(false); // before the span: must not be counted
+        p.alloc(64);
+        {
+            let _s = profiled_span("forward", &p);
+            p.record_kernel(true);
+            p.record_kernel(false);
+            p.alloc(192);
+        }
+        let snap = crate::snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counters["tensor.forward.kernels"], 2);
+        assert_eq!(snap.counters["tensor.forward.fused_kernels"], 1);
+        assert_eq!(snap.gauges["tensor.forward.bytes_peak"], 256.0);
+        assert_eq!(snap.spans["forward"].count, 1);
+    }
+
+    #[test]
+    fn disabled_bridge_records_nothing() {
+        let _l = crate::tests::test_lock();
+        crate::reset();
+        crate::set_enabled(false);
+        let p = Profiler::new();
+        {
+            let _s = profiled_span("forward", &p);
+            p.record_kernel(false);
+        }
+        record_profile("tensor.x", &p.snapshot());
+        let snap = crate::snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+}

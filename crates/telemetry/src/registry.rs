@@ -1,0 +1,269 @@
+//! The metrics registry: span statistics, counters, gauges, and
+//! fixed-bucket histograms, all behind plain `Mutex<BTreeMap>`s.
+//!
+//! `BTreeMap` (not `HashMap`) is deliberate: snapshots iterate in sorted
+//! key order, which is what makes rendered reports byte-stable across
+//! same-seed runs.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total seconds across all entries.
+    pub total_s: f64,
+    /// Shortest single entry (seconds).
+    pub min_s: f64,
+    /// Longest single entry (seconds).
+    pub max_s: f64,
+}
+
+impl SpanStat {
+    /// Mean seconds per entry.
+    pub fn mean_s(&self) -> f64 {
+        self.total_s / self.count.max(1) as f64
+    }
+}
+
+/// Default histogram bucket upper bounds: log decades covering everything
+/// from microsecond durations to million-feature loads.
+pub const DEFAULT_BOUNDS: [f64; 13] =
+    [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6];
+
+#[derive(Clone, Debug)]
+struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = self.bounds.partition_point(|&b| b < v);
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// Read-only copy of one histogram's state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (a value `v` lands in the first bucket with
+    /// `v <= bound`; larger values land in the overflow slot).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// Everything collected so far, in sorted-key order.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Span path → aggregated timing.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Level gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Thread-safe store behind the crate's free-function API. Usable
+/// standalone in tests; production code goes through [`crate::registry`].
+#[derive(Default)]
+pub struct Registry {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+// Lock discipline: each map has its own mutex, every method locks exactly
+// one of them, and poisoning is absorbed (telemetry must never take down
+// the run it is observing).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one span exit into the aggregate for its path.
+    pub fn record_span(&self, path: &str, secs: f64) {
+        let mut spans = lock(&self.spans);
+        match spans.get_mut(path) {
+            Some(s) => {
+                s.count += 1;
+                s.total_s += secs;
+                s.min_s = s.min_s.min(secs);
+                s.max_s = s.max_s.max(secs);
+            }
+            None => {
+                spans.insert(
+                    path.to_string(),
+                    SpanStat { count: 1, total_s: secs, min_s: secs, max_s: secs },
+                );
+            }
+        }
+    }
+
+    /// Add to a monotone counter.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut counters = lock(&self.counters);
+        match counters.get_mut(name) {
+            Some(c) => *c += v,
+            None => {
+                counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Set a gauge level.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        lock(&self.gauges).insert(name.to_string(), v);
+    }
+
+    /// Raise a gauge to `v` if larger.
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        let mut gauges = lock(&self.gauges);
+        match gauges.get_mut(name) {
+            Some(g) => *g = g.max(v),
+            None => {
+                gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Observe into a histogram (default bounds on first use).
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_with_bounds(name, v, &DEFAULT_BOUNDS);
+    }
+
+    /// Observe into a histogram, registering it with `bounds` on first use.
+    pub fn observe_with_bounds(&self, name: &str, v: f64, bounds: &[f64]) {
+        let mut hists = lock(&self.histograms);
+        hists.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds)).observe(v);
+    }
+
+    /// Copy out everything collected so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            spans: lock(&self.spans).clone(),
+            counters: lock(&self.counters).clone(),
+            gauges: lock(&self.gauges).clone(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop every recorded value.
+    pub fn clear(&self) {
+        lock(&self.spans).clear();
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_aggregation() {
+        let r = Registry::new();
+        r.record_span("a", 1.0);
+        r.record_span("a", 3.0);
+        r.record_span("b", 0.5);
+        let s = r.snapshot();
+        let a = &s.spans["a"];
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_s, 4.0);
+        assert_eq!(a.min_s, 1.0);
+        assert_eq!(a.max_s, 3.0);
+        assert_eq!(a.mean_s(), 2.0);
+        assert_eq!(s.spans["b"].count, 1);
+    }
+
+    #[test]
+    fn histogram_bucketing_boundaries() {
+        let r = Registry::new();
+        // Upper-inclusive bounds: 10 lands in the ≤10 bucket.
+        for v in [9.0, 10.0, 10.5, 1e9] {
+            r.observe_with_bounds("h", v, &[10.0, 100.0]);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn default_bounds_cover_durations_and_loads() {
+        let r = Registry::new();
+        r.observe("mixed", 3e-6); // a few µs
+        r.observe("mixed", 4500.0); // a feature-number load
+        let snap = r.snapshot();
+        let h = &snap.histograms["mixed"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert_eq!(h.counts.last(), Some(&0), "nothing overflowed");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.counter_add("m", 1);
+        let snap = r.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let r = Registry::new();
+        r.record_span("s", 1.0);
+        r.counter_add("c", 1);
+        r.gauge_set("g", 1.0);
+        r.observe("h", 1.0);
+        r.clear();
+        let s = r.snapshot();
+        assert!(s.spans.is_empty() && s.counters.is_empty());
+        assert!(s.gauges.is_empty() && s.histograms.is_empty());
+    }
+}

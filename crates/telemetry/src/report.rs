@@ -1,0 +1,220 @@
+//! Structured run reports.
+//!
+//! A [`RunReport`] is the machine-readable artifact of one run: identity
+//! (name, seed, schema version), deterministic metadata, measured
+//! wall-clock timings (segregated so same-seed runs can be diffed on the
+//! deterministic part), optional per-epoch rows, and the full
+//! [`TelemetrySnapshot`] captured at emission time.
+//!
+//! The only "serde" here is a ~40-line JSON value type — the container
+//! ships no external serialization dependency.
+
+use crate::registry::TelemetrySnapshot;
+use std::collections::BTreeMap;
+
+/// Version of the report schema (bumped on breaking field changes; every
+/// emitted JSONL stream carries it in the leading `run` event).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A JSON-compatible scalar for report metadata and epoch rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (serialized as a JSON number).
+    U64(u64),
+    /// Signed integer (serialized as a JSON number).
+    I64(i64),
+    /// Float (non-finite values serialize as null).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Serialize to a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => json_f64(*v),
+            Value::Str(s) => json_str(s),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Serialize an `f64` as a JSON number (shortest round-trip form;
+/// non-finite becomes null).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust renders whole floats as e.g. "1" — already valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize a string as a JSON string literal with escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The structured artifact of one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Run name (becomes `reports/BENCH_<name>.json` for bench runs).
+    pub name: String,
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The seed the run was driven by.
+    pub seed: u64,
+    /// Deterministic run parameters and results — identical across
+    /// same-seed runs by contract.
+    pub meta: BTreeMap<String, Value>,
+    /// Measured wall-clock durations in seconds — the *only* fields (along
+    /// with span/`_s` fields in `telemetry`) allowed to differ between
+    /// same-seed runs.
+    pub timing_s: BTreeMap<String, f64>,
+    /// Optional per-epoch rows (each a sorted key → value map).
+    pub epochs: Vec<BTreeMap<String, Value>>,
+    /// Span statistics and metrics captured from the global collector.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl RunReport {
+    /// New report capturing the current global telemetry snapshot.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        RunReport {
+            name: name.into(),
+            schema_version: SCHEMA_VERSION,
+            seed,
+            meta: BTreeMap::new(),
+            timing_s: BTreeMap::new(),
+            epochs: Vec::new(),
+            telemetry: crate::snapshot(),
+        }
+    }
+
+    /// New report with an explicit (e.g. per-[`crate::Registry`]) snapshot.
+    pub fn with_snapshot(name: impl Into<String>, seed: u64, snap: TelemetrySnapshot) -> Self {
+        RunReport {
+            name: name.into(),
+            schema_version: SCHEMA_VERSION,
+            seed,
+            meta: BTreeMap::new(),
+            timing_s: BTreeMap::new(),
+            epochs: Vec::new(),
+            telemetry: snap,
+        }
+    }
+
+    /// Record a deterministic metadata field.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Record a measured wall-clock duration (seconds).
+    pub fn set_timing(&mut self, key: impl Into<String>, secs: f64) -> &mut Self {
+        self.timing_s.insert(key.into(), secs);
+        self
+    }
+
+    /// Append a per-epoch row.
+    pub fn push_epoch(&mut self, row: BTreeMap<String, Value>) -> &mut Self {
+        self.epochs.push(row);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(Value::from("x").to_json(), "\"x\"");
+    }
+
+    #[test]
+    fn json_numbers() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(1.0), "1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(Value::from(3usize).to_json(), "3");
+        assert_eq!(Value::from(-2i64).to_json(), "-2");
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::from(true).to_json(), "true");
+    }
+
+    #[test]
+    fn report_builder() {
+        let mut r = RunReport::with_snapshot("t", 7, TelemetrySnapshot::default());
+        r.set_meta("scale", "quick").set_timing("iter_s", 0.25);
+        let mut row = BTreeMap::new();
+        row.insert("epoch".to_string(), Value::from(0usize));
+        r.push_epoch(row);
+        assert_eq!(r.schema_version, SCHEMA_VERSION);
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.meta["scale"], Value::from("quick"));
+        assert_eq!(r.timing_s["iter_s"], 0.25);
+        assert_eq!(r.epochs.len(), 1);
+    }
+}

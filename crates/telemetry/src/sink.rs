@@ -1,0 +1,485 @@
+//! Report sinks: console tables, TSV, and the JSONL event stream.
+//!
+//! All three render the same [`RunReport`]; the JSONL form is the
+//! machine-readable `reports/BENCH_*.json` artifact. Sinks are stateless —
+//! `emit` may be called with any number of reports.
+
+use crate::report::{json_f64, json_str, RunReport, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Something a [`RunReport`] can be emitted to.
+pub trait Sink {
+    /// Emit one report.
+    fn emit(&self, report: &RunReport) -> std::io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Console
+// ---------------------------------------------------------------------------
+
+/// Renders reports as aligned plain-text tables on stdout.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConsoleSink;
+
+impl Sink for ConsoleSink {
+    fn emit(&self, report: &RunReport) -> std::io::Result<()> {
+        print!("{}", render_console(report));
+        Ok(())
+    }
+}
+
+fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let mut out = fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    out.push_str(&format!(
+        "|{}|\n",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+fn fmt_val(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_json(),
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Render a report as human-readable console text.
+pub fn render_console(report: &RunReport) -> String {
+    let mut out = format!(
+        "== run report: {} (schema v{}, seed {}) ==\n",
+        report.name, report.schema_version, report.seed
+    );
+    if !report.meta.is_empty() || !report.timing_s.is_empty() {
+        let mut rows: Vec<Vec<String>> =
+            report.meta.iter().map(|(k, v)| vec![k.clone(), fmt_val(v)]).collect();
+        rows.extend(report.timing_s.iter().map(|(k, v)| vec![k.clone(), fmt_secs(*v)]));
+        out.push('\n');
+        out.push_str(&table(&["field", "value"], &rows));
+    }
+    if !report.telemetry.spans.is_empty() {
+        let rows: Vec<Vec<String>> = report
+            .telemetry
+            .spans
+            .iter()
+            .map(|(path, s)| {
+                vec![
+                    path.clone(),
+                    s.count.to_string(),
+                    fmt_secs(s.total_s),
+                    fmt_secs(s.mean_s()),
+                    fmt_secs(s.min_s),
+                    fmt_secs(s.max_s),
+                ]
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&table(&["span", "count", "total", "mean", "min", "max"], &rows));
+    }
+    if !report.telemetry.counters.is_empty() || !report.telemetry.gauges.is_empty() {
+        let mut rows: Vec<Vec<String>> = report
+            .telemetry
+            .counters
+            .iter()
+            .map(|(k, v)| vec![k.clone(), "counter".into(), v.to_string()])
+            .collect();
+        rows.extend(
+            report
+                .telemetry
+                .gauges
+                .iter()
+                .map(|(k, v)| vec![k.clone(), "gauge".into(), format!("{v:.4}")]),
+        );
+        out.push('\n');
+        out.push_str(&table(&["metric", "kind", "value"], &rows));
+    }
+    if !report.epochs.is_empty() {
+        // Union of keys across rows, sorted (BTreeMap rows keep this stable).
+        let headers: Vec<String> = report
+            .epochs
+            .iter()
+            .flat_map(|r| r.keys().cloned())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = report
+            .epochs
+            .iter()
+            .map(|r| headers.iter().map(|h| r.get(h).map(fmt_val).unwrap_or_default()).collect())
+            .collect();
+        out.push('\n');
+        out.push_str(&table(&header_refs, &rows));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// TSV
+// ---------------------------------------------------------------------------
+
+/// Writes a report as sectioned TSV to a file.
+#[derive(Clone, Debug)]
+pub struct TsvSink {
+    path: PathBuf,
+}
+
+impl TsvSink {
+    /// Sink writing to `path` (parents created on emit).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        TsvSink { path: path.into() }
+    }
+}
+
+impl Sink for TsvSink {
+    fn emit(&self, report: &RunReport) -> std::io::Result<()> {
+        write_file(&self.path, &render_tsv(report))
+    }
+}
+
+/// Render a report as sectioned TSV (`section<TAB>...` rows).
+pub fn render_tsv(report: &RunReport) -> String {
+    let mut out = format!(
+        "run\tname={}\tschema_version={}\tseed={}\n",
+        report.name, report.schema_version, report.seed
+    );
+    for (k, v) in &report.meta {
+        out.push_str(&format!("meta\t{k}\t{}\n", fmt_val(v)));
+    }
+    for (k, v) in &report.timing_s {
+        out.push_str(&format!("timing\t{k}\t{v:.9}\n"));
+    }
+    for (path, s) in &report.telemetry.spans {
+        out.push_str(&format!(
+            "span\t{path}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\n",
+            s.count,
+            s.total_s,
+            s.mean_s(),
+            s.min_s,
+            s.max_s
+        ));
+    }
+    for (k, v) in &report.telemetry.counters {
+        out.push_str(&format!("counter\t{k}\t{v}\n"));
+    }
+    for (k, v) in &report.telemetry.gauges {
+        out.push_str(&format!("gauge\t{k}\t{v}\n"));
+    }
+    for (k, h) in &report.telemetry.histograms {
+        out.push_str(&format!(
+            "histogram\t{k}\t{}\t{}\t{}\n",
+            h.count,
+            h.sum,
+            h.counts.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        ));
+    }
+    for row in &report.epochs {
+        let cells: Vec<String> = row.iter().map(|(k, v)| format!("{k}={}", fmt_val(v))).collect();
+        out.push_str(&format!("epoch\t{}\n", cells.join("\t")));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+/// Writes a report as a schema-versioned JSONL event stream — the format
+/// behind `reports/BENCH_*.json`.
+#[derive(Clone, Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Sink writing to `path` (parents created on emit).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonlSink { path: path.into() }
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, report: &RunReport) -> std::io::Result<()> {
+        write_file(&self.path, &render_jsonl(report))
+    }
+}
+
+fn obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}:{v}", json_str(k))).collect();
+    format!("{{{}}}\n", body.join(","))
+}
+
+/// Render a report as the JSONL event stream.
+///
+/// One JSON object per line, in fixed order: a `run` header (carrying the
+/// schema version and seed), `meta`, `timing`, `span`, `counter`, `gauge`,
+/// `histogram`, `epoch` events, then an `end` trailer with the event
+/// count. Duration fields all end in `_s`; every other field is
+/// deterministic for a seeded run.
+pub fn render_jsonl(report: &RunReport) -> String {
+    let mut out = String::new();
+    let mut events = 0u64;
+    let mut push = |line: String, out: &mut String| {
+        out.push_str(&line);
+        events += 1;
+    };
+    push(
+        obj(&[
+            ("event", json_str("run")),
+            ("schema_version", report.schema_version.to_string()),
+            ("name", json_str(&report.name)),
+            ("seed", report.seed.to_string()),
+        ]),
+        &mut out,
+    );
+    for (k, v) in &report.meta {
+        push(
+            obj(&[("event", json_str("meta")), ("key", json_str(k)), ("value", v.to_json())]),
+            &mut out,
+        );
+    }
+    for (k, v) in &report.timing_s {
+        push(
+            obj(&[
+                ("event", json_str("timing")),
+                ("key", json_str(k)),
+                ("seconds_s", json_f64(*v)),
+            ]),
+            &mut out,
+        );
+    }
+    for (path, s) in &report.telemetry.spans {
+        push(
+            obj(&[
+                ("event", json_str("span")),
+                ("path", json_str(path)),
+                ("count", s.count.to_string()),
+                ("total_s", json_f64(s.total_s)),
+                ("mean_s", json_f64(s.mean_s())),
+                ("min_s", json_f64(s.min_s)),
+                ("max_s", json_f64(s.max_s)),
+            ]),
+            &mut out,
+        );
+    }
+    for (k, v) in &report.telemetry.counters {
+        push(
+            obj(&[("event", json_str("counter")), ("name", json_str(k)), ("value", v.to_string())]),
+            &mut out,
+        );
+    }
+    for (k, v) in &report.telemetry.gauges {
+        push(
+            obj(&[("event", json_str("gauge")), ("name", json_str(k)), ("value", json_f64(*v))]),
+            &mut out,
+        );
+    }
+    for (k, h) in &report.telemetry.histograms {
+        let bounds: Vec<String> = h.bounds.iter().map(|&b| json_f64(b)).collect();
+        let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+        push(
+            obj(&[
+                ("event", json_str("histogram")),
+                ("name", json_str(k)),
+                ("bounds", format!("[{}]", bounds.join(","))),
+                ("counts", format!("[{}]", counts.join(","))),
+                ("count", h.count.to_string()),
+                ("sum", json_f64(h.sum)),
+            ]),
+            &mut out,
+        );
+    }
+    for (i, row) in report.epochs.iter().enumerate() {
+        let mut fields = vec![("event", json_str("epoch")), ("index", i.to_string())];
+        let rendered: Vec<(String, String)> =
+            row.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        fields.extend(rendered.iter().map(|(k, v)| (k.as_str(), v.clone())));
+        push(obj(&fields), &mut out);
+    }
+    let trailer = obj(&[("event", json_str("end")), ("events", (events + 1).to_string())]);
+    out.push_str(&trailer);
+    out
+}
+
+fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(content.as_bytes())
+}
+
+/// Parse one JSONL event line back into key → raw-JSON-fragment pairs.
+///
+/// This is a reader for *our own* flat emitter output (no nested objects,
+/// arrays only as whole `[...]` values) — enough for tests, the README
+/// example, and downstream tooling to consume `BENCH_*.json` without a
+/// JSON dependency.
+pub fn parse_jsonl_line(line: &str) -> Option<BTreeMap<String, String>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = BTreeMap::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',');
+        let key_start = rest.find('"')? + 1;
+        let key_end = key_start + rest[key_start..].find('"')?;
+        let key = &rest[key_start..key_end];
+        let after = rest[key_end + 1..].strip_prefix(':')?;
+        let (value, remainder) = if let Some(s) = after.strip_prefix('"') {
+            let mut end = 0;
+            let bytes = s.as_bytes();
+            while end < bytes.len() {
+                if bytes[end] == b'\\' {
+                    end += 2;
+                    continue;
+                }
+                if bytes[end] == b'"' {
+                    break;
+                }
+                end += 1;
+            }
+            (format!("\"{}\"", &s[..end]), &s[end + 1..])
+        } else if let Some(s) = after.strip_prefix('[') {
+            let end = s.find(']')?;
+            (format!("[{}]", &s[..end]), &s[end + 1..])
+        } else {
+            let end = after.find(',').unwrap_or(after.len());
+            (after[..end].to_string(), &after[end..])
+        };
+        out.insert(key.to_string(), value);
+        rest = remainder;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_report() -> RunReport {
+        let r = Registry::new();
+        r.record_span("epoch", 2.0);
+        r.record_span("epoch/forward", 1.25);
+        r.counter_add("tensor.forward.kernels", 320);
+        r.gauge_set("cluster.load_imbalance", 1.18);
+        r.observe_with_bounds("cluster.rank_load_features", 512.0, &[100.0, 1000.0]);
+        let mut report = RunReport::with_snapshot("unit", 9, r.snapshot());
+        report.set_meta("scale", "quick").set_timing("iter_s", 0.125);
+        let mut row = BTreeMap::new();
+        row.insert("epoch".to_string(), Value::from(0usize));
+        row.insert("train_loss".to_string(), Value::from(1.5));
+        report.push_epoch(row);
+        report
+    }
+
+    #[test]
+    fn jsonl_stream_shape() {
+        let report = sample_report();
+        let jsonl = render_jsonl(&report);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // run + meta + timing + 2 spans + counter + gauge + histogram +
+        // epoch + end = 10 lines.
+        assert_eq!(lines.len(), 10, "{jsonl}");
+        let head = parse_jsonl_line(lines[0]).unwrap();
+        assert_eq!(head["event"], "\"run\"");
+        assert_eq!(head["schema_version"], "1");
+        assert_eq!(head["seed"], "9");
+        let tail = parse_jsonl_line(lines.last().unwrap()).unwrap();
+        assert_eq!(tail["event"], "\"end\"");
+        assert_eq!(tail["events"], "10");
+    }
+
+    #[test]
+    fn jsonl_span_events_carry_durations_only_in_s_fields() {
+        let jsonl = render_jsonl(&sample_report());
+        let span_line =
+            jsonl.lines().find(|l| l.contains("\"epoch/forward\"")).expect("span event");
+        let fields = parse_jsonl_line(span_line).unwrap();
+        assert_eq!(fields["count"], "1");
+        assert_eq!(fields["total_s"], "1.25");
+        for key in fields.keys() {
+            let timing = key.ends_with("_s");
+            let det = matches!(key.as_str(), "event" | "path" | "count");
+            assert!(timing || det, "unexpected span field {key}");
+        }
+    }
+
+    #[test]
+    fn jsonl_deterministic_for_fixed_snapshot() {
+        let a = render_jsonl(&sample_report());
+        let b = render_jsonl(&sample_report());
+        // Identical except *_s fields — and with a fixed snapshot, fully
+        // identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tsv_and_console_render() {
+        let report = sample_report();
+        let tsv = render_tsv(&report);
+        assert!(tsv.starts_with("run\tname=unit"));
+        assert!(tsv.contains("counter\ttensor.forward.kernels\t320"));
+        assert!(tsv.contains("histogram\tcluster.rank_load_features\t1"));
+        let console = render_console(&report);
+        assert!(console.contains("run report: unit"));
+        assert!(console.contains("epoch/forward"));
+        assert!(console.contains("cluster.load_imbalance"));
+    }
+
+    #[test]
+    fn file_sinks_write() {
+        let dir = std::env::temp_dir().join("fc_telemetry_sink_test");
+        let report = sample_report();
+        let jpath = dir.join("BENCH_unit.json");
+        JsonlSink::new(&jpath).emit(&report).unwrap();
+        let back = std::fs::read_to_string(&jpath).unwrap();
+        assert_eq!(back, render_jsonl(&report));
+        let tpath = dir.join("unit.tsv");
+        TsvSink::new(&tpath).emit(&report).unwrap();
+        assert!(std::fs::read_to_string(&tpath).unwrap().contains("gauge"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_jsonl_line_roundtrips_strings_and_arrays() {
+        let m = parse_jsonl_line(r#"{"event":"histogram","counts":[1,2,3],"name":"x","sum":5.5}"#)
+            .unwrap();
+        assert_eq!(m["counts"], "[1,2,3]");
+        assert_eq!(m["name"], "\"x\"");
+        assert_eq!(m["sum"], "5.5");
+    }
+}

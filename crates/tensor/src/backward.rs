@@ -335,8 +335,7 @@ impl Tape {
                     // For trans_b=false: dB[3s+k, j] += a[r,k] g[r,j];
                     // for trans_b=true : dB[3s+j, k] += a[r,k] g[r,j];
                     // i.e. swap the roles of (a, g).
-                    let (rows_src, cols_src) =
-                        if *trans_b { (g, Var(a)) } else { (Var(a), g) };
+                    let (rows_src, cols_src) = if *trans_b { (g, Var(a)) } else { (Var(a), g) };
                     let mut gb: Option<Var> = None;
                     for k in 0..3usize {
                         let seg3: Arc<[u32]> =
@@ -673,9 +672,7 @@ mod tests {
         let y = tape.sum_all(tape.powi(x, 3));
         let gm = tape.backward(y);
         let gx = gm.get(x).unwrap();
-        assert!(tape
-            .value(gx)
-            .approx_eq(&Tensor::row_vec(&[6.75, 12.0]), 1e-4));
+        assert!(tape.value(gx).approx_eq(&Tensor::row_vec(&[6.75, 12.0]), 1e-4));
         // Second backward through the gradient graph.
         let s = tape.sum_all(gx);
         let gm2 = tape.backward(s);

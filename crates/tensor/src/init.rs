@@ -63,8 +63,7 @@ mod tests {
         let t = normal(&mut rng, 100, 100, 1.0, 2.0);
         let mean = t.mean();
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
-        let var = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
-            / t.len() as f64;
+        let var = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }
 

@@ -161,7 +161,14 @@ pub fn unary(kind: UnKind, a: &Tensor) -> Tensor {
 
 /// Binary elementwise kernel with broadcasting:
 /// `out[r,c] = kind(a[bcast_a(r,c)], b[bcast_b(r,c)])`.
-pub fn binary(kind: BinKind, a: &Tensor, ba: Bcast, b: &Tensor, bb: Bcast, out_shape: Shape) -> Tensor {
+pub fn binary(
+    kind: BinKind,
+    a: &Tensor,
+    ba: Bcast,
+    b: &Tensor,
+    bb: Bcast,
+    out_shape: Shape,
+) -> Tensor {
     let cols = out_shape.cols;
     let ad = a.data();
     let bd = b.data();

@@ -193,8 +193,7 @@ fn fused_srbf_generic(r: &Tensor, cfg: SrbfCfg, order: u8) -> Tensor {
 pub fn envelope_reference(r: f32, cfg: SrbfCfg) -> f32 {
     let p = cfg.p as f32;
     let xi = (r / cfg.r_cut).clamp(0.0, 1.0);
-    1.0 - (p + 1.0) * (p + 2.0) / 2.0 * xi.powf(p)
-        + p * (p + 2.0) * xi.powf(p + 1.0)
+    1.0 - (p + 1.0) * (p + 2.0) / 2.0 * xi.powf(p) + p * (p + 2.0) * xi.powf(p + 1.0)
         - p * (p + 1.0) / 2.0 * xi.powf(p + 2.0)
 }
 

@@ -138,11 +138,8 @@ mod tests {
     #[test]
     fn block_diag_matches_dense() {
         // Compare against an explicitly materialised block-diagonal matmul.
-        let blk0 = Tensor::from_rows(&[
-            vec![0.5, 1.0, -1.0],
-            vec![2.0, 0.0, 0.5],
-            vec![-0.5, 1.5, 1.0],
-        ]);
+        let blk0 =
+            Tensor::from_rows(&[vec![0.5, 1.0, -1.0], vec![2.0, 0.0, 0.5], vec![-0.5, 1.5, 1.0]]);
         let a = Tensor::from_rows(&[vec![1.0, -1.0, 2.0], vec![0.0, 3.0, 1.0]]);
         let out = block_diag_matmul(&a, &blk0, &[0, 0]);
         let dense = matmul(&a, &blk0);

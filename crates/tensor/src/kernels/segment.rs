@@ -48,12 +48,8 @@ mod tests {
 
     #[test]
     fn basic_segment_sum() {
-        let a = Tensor::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 0.0],
-            vec![3.0, 1.0],
-            vec![4.0, 0.0],
-        ]);
+        let a =
+            Tensor::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.0], vec![3.0, 1.0], vec![4.0, 0.0]]);
         let out = segment_sum(&a, &[0, 1, 0, 2], 3);
         assert_eq!(out.row(0), &[4.0, 2.0]);
         assert_eq!(out.row(1), &[2.0, 0.0]);

@@ -110,7 +110,12 @@ impl ParamStore {
     pub fn copy_values_from(&mut self, other: &ParamStore) {
         assert_eq!(self.entries.len(), other.entries.len(), "param store layout mismatch");
         for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
-            assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch for {}", dst.name);
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "param shape mismatch for {}",
+                dst.name
+            );
             dst.value = src.value.clone();
         }
     }
@@ -156,10 +161,8 @@ impl ParamStore {
             let rows = read_u64(&mut pos)? as usize;
             let cols = read_u64(&mut pos)? as usize;
             let raw = take(&mut pos, rows * cols * 4)?;
-            let data: Vec<f32> = raw
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
+            let data: Vec<f32> =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
             store.add(name, Tensor::from_vec(crate::shape::Shape::new(rows, cols), data));
         }
         Ok(store)

@@ -90,8 +90,16 @@ impl Profiler {
 }
 
 impl ProfileSnapshot {
-    /// Counter deltas `self - earlier` (kernels and peak are monotone).
-    pub fn delta(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+    /// Change since `earlier`, with mixed semantics by counter class:
+    ///
+    /// * **Monotone counters** (`kernels`, `fused_kernels`) are true deltas
+    ///   `self - earlier` — the launches that happened in between.
+    /// * **Level gauges** (`bytes_live`, `bytes_peak`) are *not* deltas:
+    ///   they pass through `self`'s values unchanged, because "live bytes
+    ///   now" and "peak bytes observed" are instantaneous levels whose
+    ///   difference has no physical meaning (use
+    ///   [`Profiler::reset_peak`] to scope the peak to an interval).
+    pub fn since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
         ProfileSnapshot {
             kernels: self.kernels - earlier.kernels,
             fused_kernels: self.fused_kernels - earlier.fused_kernels,
@@ -140,15 +148,35 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_delta() {
+    fn snapshot_since() {
         let p = Profiler::new();
         p.record_kernel(false);
         let a = p.snapshot();
         p.record_kernel(false);
         p.record_kernel(true);
         let b = p.snapshot();
-        let d = b.delta(&a);
+        let d = b.since(&a);
         assert_eq!(d.kernels, 2);
         assert_eq!(d.fused_kernels, 1);
+    }
+
+    #[test]
+    fn since_passes_levels_through_undelta() {
+        // Regression: `since` must delta the monotone counters but pass the
+        // byte *levels* through from the later snapshot unchanged — it must
+        // never report `bytes_live`/`bytes_peak` differences.
+        let p = Profiler::new();
+        p.alloc(300);
+        let a = p.snapshot();
+        p.record_kernel(false);
+        p.alloc(100);
+        p.free(250);
+        let b = p.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.kernels, 1);
+        assert_eq!(d.bytes_live, b.bytes_live, "live is a level, not a delta");
+        assert_eq!(d.bytes_peak, b.bytes_peak, "peak is a level, not a delta");
+        assert_eq!(d.bytes_live, 150);
+        assert_eq!(d.bytes_peak, 400);
     }
 }

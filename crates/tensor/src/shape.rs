@@ -172,10 +172,7 @@ mod tests {
         assert_eq!(broadcast_shape(a, a), Some(a));
         assert_eq!(broadcast_shape(Shape::new(5, 2), Shape::new(5, 7)), None);
         // (n,1) x (1,m) outer-style broadcast is supported.
-        assert_eq!(
-            broadcast_shape(Shape::new(5, 1), Shape::new(1, 7)),
-            Some(Shape::new(5, 7))
-        );
+        assert_eq!(broadcast_shape(Shape::new(5, 1), Shape::new(1, 7)), Some(Shape::new(5, 7)));
     }
 
     #[test]

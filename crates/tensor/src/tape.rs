@@ -252,7 +252,14 @@ impl Tape {
         let bb = Bcast::resolve(sb, out).expect("rhs broadcast");
         let value = {
             let nodes = self.nodes.borrow();
-            elementwise::binary(kind, &nodes[a.0 as usize].value, ba, &nodes[b.0 as usize].value, bb, out)
+            elementwise::binary(
+                kind,
+                &nodes[a.0 as usize].value,
+                ba,
+                &nodes[b.0 as usize].value,
+                bb,
+                out,
+            )
         };
         let rg = self.rg_of(a) || self.rg_of(b);
         self.push(Op::Bin { kind, a: a.0, ba, b: b.0, bb }, value, rg)
@@ -317,8 +324,8 @@ impl Tape {
         if sa == shape {
             return a;
         }
-        let bc = Bcast::resolve(sa, shape)
-            .unwrap_or_else(|| panic!("cannot broadcast {sa} to {shape}"));
+        let bc =
+            Bcast::resolve(sa, shape).unwrap_or_else(|| panic!("cannot broadcast {sa} to {shape}"));
         let value = self.with_value(a, |t| {
             let mut out = Tensor::zeros(shape.rows, shape.cols);
             for r in 0..shape.rows {
@@ -628,11 +635,8 @@ mod tests {
     #[test]
     fn block_diag_transposed() {
         let t = Tape::new();
-        let blk = Tensor::from_rows(&[
-            vec![1.0, 2.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ]);
+        let blk =
+            Tensor::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
         let a = t.constant(Tensor::from_rows(&[vec![1.0, 1.0, 1.0]]));
         let b = t.constant(blk.clone());
         let seg: Arc<[u32]> = Arc::from(vec![0u32]);

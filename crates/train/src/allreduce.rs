@@ -114,8 +114,7 @@ mod tests {
 
     fn check_allreduce(p: usize, n: usize) {
         let mut bufs = random_buffers(p, n, p as u64 * 31 + n as u64);
-        let expect: Vec<f32> =
-            (0..n).map(|i| bufs.iter().map(|b| b[i]).sum::<f32>()).collect();
+        let expect: Vec<f32> = (0..n).map(|i| bufs.iter().map(|b| b[i]).sum::<f32>()).collect();
         ring_all_reduce(&mut bufs);
         for (d, b) in bufs.iter().enumerate() {
             for i in 0..n {
@@ -162,5 +161,37 @@ mod tests {
         assert!(big < 2.0 * (1u64 << 30) as f64 / m.bandwidth + 2.0 * 1024.0 * m.latency);
         // Overlap reduces exposure.
         assert!(m.exposed_time(1 << 20, 8) < m.allreduce_time(1 << 20, 8));
+    }
+
+    #[test]
+    fn comm_model_monotone_in_bytes() {
+        let m = CommModel::a100_fat_tree();
+        for p in [2, 4, 8, 32] {
+            let mut prev_all = -1.0;
+            let mut prev_exposed = -1.0;
+            for shift in 0..24 {
+                let bytes = 1usize << shift;
+                let all = m.allreduce_time(bytes, p);
+                let exposed = m.exposed_time(bytes, p);
+                assert!(all > prev_all, "allreduce_time not monotone at p={p} bytes={bytes}");
+                assert!(exposed > prev_exposed, "exposed_time not monotone at p={p} bytes={bytes}");
+                prev_all = all;
+                prev_exposed = exposed;
+            }
+        }
+    }
+
+    #[test]
+    fn comm_model_single_device_is_free_and_never_negative() {
+        let m = CommModel::a100_fat_tree();
+        for bytes in [0, 1, 1 << 10, 1 << 30] {
+            assert_eq!(m.allreduce_time(bytes, 1), 0.0);
+            assert_eq!(m.exposed_time(bytes, 1), 0.0);
+            assert_eq!(m.allreduce_time(bytes, 0), 0.0);
+            for p in [2, 3, 17] {
+                assert!(m.allreduce_time(bytes, p) >= 0.0);
+                assert!(m.exposed_time(bytes, p) >= 0.0);
+            }
+        }
     }
 }

@@ -12,7 +12,8 @@ pub fn save_checkpoint(store: &ParamStore, path: impl AsRef<Path>) -> std::io::R
 /// Load a parameter store from disk.
 pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<ParamStore> {
     let bytes = std::fs::read(path)?;
-    ParamStore::from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    ParamStore::from_bytes(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Write a report table (TSV/CSV content) to disk, creating parents.

@@ -145,11 +145,29 @@ impl Cluster {
     /// Execute one data-parallel training step over a global batch.
     pub fn train_step(&mut self, global_batch: &[&Sample]) -> StepStats {
         assert!(!global_batch.is_empty(), "empty global batch");
-        let features: Vec<usize> =
-            global_batch.iter().map(|s| s.graph.feature_number()).collect();
+        let _step_span = fc_telemetry::span("train_step");
+        let features: Vec<usize> = global_batch.iter().map(|s| s.graph.feature_number()).collect();
         let parts = partition(&features, self.cfg.n_devices, self.cfg.sampler);
         let loads = device_loads(&features, &parts);
         let cov = load_cov(&features, &parts);
+
+        // Per-rank load telemetry (Fig. 9's axes): feature-number loads per
+        // device, atom counts per rank, and the imbalance ratio max/mean.
+        if fc_telemetry::enabled() {
+            fc_telemetry::counter_inc("cluster.steps");
+            fc_telemetry::gauge_set("cluster.load_cov", cov);
+            let mean_load = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+            let max_load = loads.iter().copied().fold(0.0f64, f64::max);
+            fc_telemetry::gauge_set(
+                "cluster.load_imbalance",
+                if mean_load > 0.0 { max_load / mean_load } else { 1.0 },
+            );
+            for (d, (idxs, &load)) in parts.iter().zip(&loads).enumerate() {
+                let atoms: u64 = idxs.iter().map(|&i| global_batch[i].graph.n_atoms() as u64).sum();
+                fc_telemetry::counter_add(&format!("cluster.rank{d}.atoms"), atoms);
+                fc_telemetry::observe("cluster.rank_load_features", load);
+            }
+        }
 
         let inv_dev = 1.0 / self.cfg.n_devices as f32;
         let mut device_compute = Vec::with_capacity(self.cfg.n_devices);
@@ -171,19 +189,24 @@ impl Cluster {
             let batch = GraphBatch::collate(&graphs, Some(&labels));
             let bl = batch.labels.as_ref().expect("labels");
             let tape = Tape::new();
-            let pred = self.model.forward(&tape, &self.store, &batch);
-            let loss = composite_loss(&tape, &pred, bl, &self.loss_weights);
+            let loss = {
+                let _fwd = fc_telemetry::bridge::profiled_span("forward", tape.profiler());
+                let pred = self.model.forward(&tape, &self.store, &batch);
+                composite_loss(&tape, &pred, bl, &self.loss_weights)
+            };
             loss_sum += tape.value(loss.total).item() as f64;
-            for (k, part) in [loss.energy, loss.force, loss.stress, loss.magmom]
-                .into_iter()
-                .enumerate()
+            for (k, part) in
+                [loss.energy, loss.force, loss.stress, loss.magmom].into_iter().enumerate()
             {
                 comp_sum[k] += tape.value(part).item() as f64;
             }
             // Backward (second-order when the model derives forces).
-            self.store.zero_grads();
-            let gm = tape.backward(loss.total);
-            self.store.accumulate_grads(&tape, &gm);
+            {
+                let _bwd = fc_telemetry::bridge::profiled_span("backward", tape.profiler());
+                self.store.zero_grads();
+                let gm = tape.backward(loss.total);
+                self.store.accumulate_grads(&tape, &gm);
+            }
             tape.reset();
             // Flatten this replica's gradient, pre-scaled for averaging.
             let mut flat = Vec::with_capacity(self.store.n_scalars());
@@ -195,10 +218,14 @@ impl Cluster {
         }
 
         // The real ring all-reduce across replica gradient buffers.
-        ring_all_reduce(&mut buffers);
+        {
+            let _ar = fc_telemetry::span("allreduce");
+            ring_all_reduce(&mut buffers);
+        }
 
         // Write the reduced gradient back (every replica now holds the
         // same sum; apply the identical optimizer step once).
+        let _opt_span = fc_telemetry::span("optimizer");
         self.store.zero_grads();
         let reduced = &buffers[0];
         let mut off = 0;
@@ -213,8 +240,11 @@ impl Cluster {
         };
         self.opt.step(&mut self.store);
         self.store.zero_grads();
+        drop(_opt_span);
 
         let comm_time = self.cfg.comm.exposed_time(self.grad_bytes, self.cfg.n_devices);
+        fc_telemetry::gauge_set("cluster.comm_exposed_s", comm_time);
+        fc_telemetry::gauge_set("cluster.grad_norm", grad_norm);
         let max_compute = device_compute.iter().copied().fold(0.0f64, f64::max);
         let sim_time = max_compute + comm_time;
         self.sim_time_total += sim_time;
@@ -329,12 +359,8 @@ mod tests {
         use std::sync::Arc;
         let data = dataset();
         let samples = Arc::new(data.samples.clone());
-        let mut cluster = Cluster::new(
-            ModelConfig::tiny(OptLevel::Decoupled),
-            3,
-            ClusterConfig::default(),
-            1e-2,
-        );
+        let mut cluster =
+            Cluster::new(ModelConfig::tiny(OptLevel::Decoupled), 3, ClusterConfig::default(), 1e-2);
         // Compare mean epoch loss, not single noisy batches.
         let mut epoch_means = Vec::new();
         for epoch in 0..4 {
@@ -352,6 +378,79 @@ mod tests {
             epoch_means.last().unwrap() < epoch_means.first().unwrap(),
             "epoch losses {epoch_means:?}"
         );
+    }
+
+    /// Serialises the tests below: they toggle the process-global telemetry
+    /// switch, and must not observe each other's windows.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn telemetry_records_spans_and_rank_metrics() {
+        let _serial = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().collect();
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig { n_devices: 2, ..Default::default() },
+            1e-3,
+        );
+        fc_telemetry::reset();
+        fc_telemetry::set_enabled(true);
+        let _ = cluster.train_step(&samples);
+        let snap = fc_telemetry::snapshot();
+        fc_telemetry::set_enabled(false);
+        // The span hierarchy of one data-parallel step. Unrelated tests that
+        // happen to run during the enabled window may add records of their
+        // own, so assert existence and lower bounds, not exact equality.
+        for path in [
+            "train_step",
+            "train_step/forward",
+            "train_step/forward/model_forward",
+            "train_step/backward",
+            "train_step/allreduce",
+            "train_step/optimizer",
+        ] {
+            assert!(snap.spans.contains_key(path), "missing span {path}: {:?}", snap.spans.keys());
+        }
+        assert!(snap.spans["train_step/forward"].count >= 2, "one forward per device");
+        // Profiler counters bridged per span.
+        assert!(snap.counters["tensor.forward.kernels"] > 0);
+        assert!(snap.counters["tensor.backward.kernels"] > 0);
+        assert!(snap.gauges["tensor.forward.bytes_peak"] > 0.0);
+        // Per-rank load metrics.
+        assert!(snap.counters["cluster.rank0.atoms"] > 0);
+        assert!(snap.counters["cluster.rank1.atoms"] > 0);
+        assert!(snap.gauges["cluster.load_imbalance"] >= 1.0);
+        assert!(snap.gauges["cluster.comm_exposed_s"] >= 0.0);
+        assert!(snap.histograms["cluster.rank_load_features"].count >= 2);
+    }
+
+    #[test]
+    fn telemetry_disabled_step_records_nothing_and_matches_enabled_loss() {
+        let _serial = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().take(6).collect();
+        let mk = || {
+            Cluster::new(
+                ModelConfig::tiny(OptLevel::Decoupled),
+                7,
+                ClusterConfig { n_devices: 2, ..Default::default() },
+                1e-3,
+            )
+        };
+        fc_telemetry::set_enabled(false);
+        fc_telemetry::reset();
+        let mut plain = mk();
+        let s_plain = plain.train_step(&samples);
+        assert!(fc_telemetry::snapshot().spans.is_empty(), "disabled telemetry must be silent");
+        fc_telemetry::set_enabled(true);
+        let mut instrumented = mk();
+        let s_instr = instrumented.train_step(&samples);
+        fc_telemetry::set_enabled(false);
+        // Instrumentation must not perturb the numerics.
+        assert_eq!(s_plain.loss, s_instr.loss);
+        assert_eq!(s_plain.grad_norm, s_instr.grad_norm);
     }
 
     #[test]

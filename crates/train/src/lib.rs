@@ -24,8 +24,8 @@ pub mod metrics;
 pub mod optim;
 pub mod quant;
 pub mod sampler;
-pub mod sched;
 pub mod scaling;
+pub mod sched;
 pub mod trainer;
 
 pub use allreduce::{ring_all_reduce, CommModel};

@@ -100,7 +100,8 @@ mod tests {
         let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 1);
         let tape = Tape::new();
         let pred = model.forward(&tape, &store, &b);
-        let loss = composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
+        let loss =
+            composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
         let total = tape.value(loss.total).item();
         assert!(total.is_finite() && total > 0.0, "loss = {total}");
         for part in [loss.energy, loss.force, loss.stress, loss.magmom] {
@@ -115,7 +116,8 @@ mod tests {
         let model = Chgnet::new(ModelConfig::tiny(OptLevel::Decoupled), &mut store, 1);
         let tape = Tape::new();
         let pred = model.forward(&tape, &store, &b);
-        let loss = composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
+        let loss =
+            composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
         let gm = tape.backward(loss.total);
         store.accumulate_grads(&tape, &gm);
         assert!(store.grad_norm() > 0.0);
@@ -130,7 +132,8 @@ mod tests {
         let model = Chgnet::new(ModelConfig::tiny(OptLevel::Fusion), &mut store, 1);
         let tape = Tape::new();
         let pred = model.forward(&tape, &store, &b);
-        let loss = composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
+        let loss =
+            composite_loss(&tape, &pred, b.labels.as_ref().unwrap(), &LossWeights::default());
         let gm = tape.backward(loss.total);
         store.accumulate_grads(&tape, &gm);
         let n = store.grad_norm();

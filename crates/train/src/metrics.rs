@@ -131,14 +131,21 @@ pub fn evaluate_with_scatter(
 }
 
 /// Metrics only (drops the scatter data).
-pub fn evaluate(model: &Chgnet, store: &ParamStore, samples: &[&Sample], batch_size: usize) -> EvalMetrics {
+pub fn evaluate(
+    model: &Chgnet,
+    store: &ParamStore,
+    samples: &[&Sample],
+    batch_size: usize,
+) -> EvalMetrics {
     evaluate_with_scatter(model, store, samples, batch_size).0
 }
 
 /// A weighted scalar "validation loss" proxy from MAE metrics, using the
 /// training prefactors. Handy for early stopping and convergence plots.
 pub fn weighted_mae(m: &EvalMetrics, w: &LossWeights) -> f64 {
-    w.energy as f64 * m.e_mae + w.force as f64 * m.f_mae + w.stress as f64 * m.s_mae
+    w.energy as f64 * m.e_mae
+        + w.force as f64 * m.f_mae
+        + w.stress as f64 * m.s_mae
         + w.magmom as f64 * m.m_mae
 }
 

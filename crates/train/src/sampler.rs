@@ -84,10 +84,7 @@ pub fn partition(features: &[usize], n_devices: usize, kind: SamplerKind) -> Vec
 
 /// Per-device total feature numbers for a partition.
 pub fn device_loads(features: &[usize], partition: &[Vec<usize>]) -> Vec<f64> {
-    partition
-        .iter()
-        .map(|idxs| idxs.iter().map(|&i| features[i] as f64).sum())
-        .collect()
+    partition.iter().map(|idxs| idxs.iter().map(|&i| features[i] as f64).sum()).collect()
 }
 
 /// The paper's imbalance criterion: coefficient of variance of per-device

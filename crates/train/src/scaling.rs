@@ -73,7 +73,13 @@ impl ScalingModel {
     }
 
     /// Simulated duration of one epoch of `n_samples`.
-    pub fn epoch_time(&self, p: usize, n_samples: usize, global_batch: usize, mean_features: f64) -> f64 {
+    pub fn epoch_time(
+        &self,
+        p: usize,
+        n_samples: usize,
+        global_batch: usize,
+        mean_features: f64,
+    ) -> f64 {
         let steps = n_samples.div_ceil(global_batch);
         steps as f64 * self.step_time(p, global_batch, mean_features)
     }

@@ -36,8 +36,7 @@ impl CosineAnnealing {
     /// Learning rate at step `t` (clamped to the schedule end).
     pub fn lr_at(&self, t: usize) -> f32 {
         let t = t.min(self.t_max) as f32 / self.t_max as f32;
-        self.lr_min
-            + 0.5 * (self.lr0 - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.lr_min + 0.5 * (self.lr0 - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -99,6 +99,44 @@ pub struct TrainReport {
 }
 
 impl TrainReport {
+    /// Build a structured, schema-versioned [`fc_telemetry::RunReport`]
+    /// for this run: per-epoch rows, end-of-run test metrics, and the
+    /// global telemetry snapshot (spans, bridged profiler counters,
+    /// cluster gauges) captured at call time. Feed it to a
+    /// [`fc_telemetry::Sink`] to render console/TSV/JSONL artifacts.
+    pub fn run_report(
+        &self,
+        name: impl Into<String>,
+        cfg: &TrainConfig,
+    ) -> fc_telemetry::RunReport {
+        use fc_telemetry::Value;
+        let mut report = fc_telemetry::RunReport::new(name, cfg.seed);
+        report
+            .set_meta("epochs", cfg.epochs)
+            .set_meta("global_batch", cfg.global_batch)
+            .set_meta("n_devices", cfg.cluster.n_devices)
+            .set_meta("n_params", self.n_params)
+            .set_meta("test_e_mae", self.test.e_mae)
+            .set_meta("test_f_mae", self.test.f_mae)
+            .set_meta("test_s_mae", self.test.s_mae)
+            .set_meta("test_m_mae", self.test.m_mae)
+            .set_timing("sim_time_total_s", self.sim_time_total);
+        for l in &self.epochs {
+            let mut row = std::collections::BTreeMap::new();
+            row.insert("epoch".to_string(), Value::from(l.epoch));
+            row.insert("train_loss".to_string(), Value::from(l.train_loss));
+            row.insert("lr".to_string(), Value::from(l.lr as f64));
+            row.insert("e_mae".to_string(), Value::from(l.val.e_mae));
+            row.insert("f_mae".to_string(), Value::from(l.val.f_mae));
+            row.insert("s_mae".to_string(), Value::from(l.val.s_mae));
+            row.insert("m_mae".to_string(), Value::from(l.val.m_mae));
+            row.insert("sim_time_s".to_string(), Value::from(l.sim_time));
+            row.insert("wall_time_s".to_string(), Value::from(l.wall_time));
+            report.push_epoch(row);
+        }
+        report
+    }
+
     /// Render the report as a TSV table (one row per epoch).
     pub fn to_tsv(&self) -> String {
         let mut out = String::from(
@@ -142,15 +180,22 @@ pub fn train_model(data: &SynthMPtrj, cfg: &TrainConfig) -> (Cluster, TrainRepor
     let mut logs = Vec::with_capacity(cfg.epochs);
     let mut global_step = 0usize;
     for epoch in 0..cfg.epochs {
+        let _epoch_span = fc_telemetry::span("epoch");
         let start = Instant::now();
         let sim_before = cluster.sim_time_total();
-        let batches = epoch_batches(train.len(), cfg.global_batch, cfg.seed ^ (epoch as u64));
+        let batches = {
+            let _wait = fc_telemetry::span("dataloader_wait");
+            epoch_batches(train.len(), cfg.global_batch, cfg.seed ^ (epoch as u64))
+        };
         let mut loss_acc = 0.0;
         let mut steps = 0usize;
         let epoch_lr = sched.lr_at(global_step);
         for idxs in batches {
             cluster.set_lr(sched.lr_at(global_step));
-            let batch: Vec<&Sample> = idxs.iter().map(|&i| train[i]).collect();
+            let batch: Vec<&Sample> = {
+                let _wait = fc_telemetry::span("dataloader_wait");
+                idxs.iter().map(|&i| train[i]).collect()
+            };
             let stats = cluster.train_step(&batch);
             loss_acc += stats.loss;
             steps += 1;
@@ -159,11 +204,15 @@ pub fn train_model(data: &SynthMPtrj, cfg: &TrainConfig) -> (Cluster, TrainRepor
         let val_metrics = if val.is_empty() {
             EvalMetrics::default()
         } else {
+            let _eval = fc_telemetry::span("evaluate");
             evaluate(&cluster.model, &cluster.store, &val, cfg.eval_batch)
         };
+        let train_loss = loss_acc / steps.max(1) as f64;
+        fc_telemetry::counter_inc("train.epochs");
+        fc_telemetry::gauge_set("train.loss", train_loss);
         logs.push(EpochLog {
             epoch,
-            train_loss: loss_acc / steps.max(1) as f64,
+            train_loss,
             lr: epoch_lr,
             val: val_metrics,
             sim_time: cluster.sim_time_total() - sim_before,
@@ -225,6 +274,51 @@ mod tests {
         assert_eq!(LrPolicy::Fixed(1e-3).initial_lr(999), 1e-3);
         assert_eq!(LrPolicy::PaperDefault.initial_lr(2048), BASE_LR);
         assert!(LrPolicy::Scaled.initial_lr(2048) > LrPolicy::Scaled.initial_lr(128));
+    }
+
+    fn synthetic_report(n_epochs: usize) -> TrainReport {
+        let epochs = (0..n_epochs)
+            .map(|epoch| EpochLog {
+                epoch,
+                train_loss: 1.0 / (epoch + 1) as f64,
+                lr: 1e-3,
+                val: EvalMetrics::default(),
+                sim_time: 0.5,
+                wall_time: 0.1,
+            })
+            .collect();
+        TrainReport { epochs, test: EvalMetrics::default(), n_params: 42, sim_time_total: 1.0 }
+    }
+
+    #[test]
+    fn tsv_header_column_count_matches_every_row() {
+        // The fig binaries parse this format; a header/row drift would
+        // silently corrupt their tables.
+        let tsv = synthetic_report(3).to_tsv();
+        let mut lines = tsv.lines();
+        let ncols = lines.next().expect("header").split('\t').count();
+        assert_eq!(ncols, 8);
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split('\t').count(), ncols, "ragged row: {line:?}");
+            rows += 1;
+        }
+        assert_eq!(rows, 3);
+    }
+
+    #[test]
+    fn run_report_carries_epochs_and_meta() {
+        let report = synthetic_report(2);
+        let cfg = TrainConfig { epochs: 2, seed: 11, ..Default::default() };
+        let run = report.run_report("unit", &cfg);
+        assert_eq!(run.seed, 11);
+        assert_eq!(run.schema_version, fc_telemetry::SCHEMA_VERSION);
+        assert_eq!(run.epochs.len(), 2);
+        assert_eq!(run.meta["n_params"], fc_telemetry::Value::from(42usize));
+        assert!(run.timing_s.contains_key("sim_time_total_s"));
+        // Every epoch row serializes cleanly through the JSONL sink.
+        let jsonl = fc_telemetry::sink::render_jsonl(&run);
+        assert_eq!(jsonl.lines().filter(|l| l.contains("\"event\":\"epoch\"")).count(), 2);
     }
 
     #[test]

@@ -45,8 +45,7 @@ fn main() {
     }
 
     // Label ranges.
-    let e_per_atom: Vec<f64> =
-        data.samples.iter().map(|s| s.labels.energy_per_atom()).collect();
+    let e_per_atom: Vec<f64> = data.samples.iter().map(|s| s.labels.energy_per_atom()).collect();
     println!(
         "\nenergy per atom: min {:.2}, mean {:.2}, max {:.2} eV/atom",
         e_per_atom.iter().copied().fold(f64::MAX, f64::min),

@@ -12,7 +12,12 @@ fn main() {
         vec![Element::from_symbol("Li").unwrap(), Element::from_symbol("O").unwrap()],
         vec![[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]],
     );
-    println!("structure: {} ({} atoms, volume {:.1} Å³)", structure.formula(), structure.n_atoms(), structure.volume());
+    println!(
+        "structure: {} ({} atoms, volume {:.1} Å³)",
+        structure.formula(),
+        structure.n_atoms(),
+        structure.volume()
+    );
 
     // 2. Construct the two-level crystal graph (6 Å atom graph, 3 Å bond
     //    graph) and collate a single-structure batch.
@@ -41,7 +46,12 @@ fn main() {
     println!("\npredicted energy: {energy:.4} eV");
     println!("forces (eV/Å):");
     for r in 0..forces.rows() {
-        println!("  atom {r}: [{:+.4}, {:+.4}, {:+.4}]", forces.at(r, 0), forces.at(r, 1), forces.at(r, 2));
+        println!(
+            "  atom {r}: [{:+.4}, {:+.4}, {:+.4}]",
+            forces.at(r, 0),
+            forces.at(r, 1),
+            forces.at(r, 2)
+        );
     }
     println!("stress (GPa):");
     for r in 0..3 {
@@ -51,7 +61,10 @@ fn main() {
 
     // 5. Compare against the synthetic-DFT oracle labels.
     let labels = oracle_evaluate(&structure);
-    println!("\noracle energy: {:.4} eV (untrained model differs — see the train_potential example)", labels.energy);
+    println!(
+        "\noracle energy: {:.4} eV (untrained model differs — see the train_potential example)",
+        labels.energy
+    );
 
     // 6. Profiling: how many kernels did that forward launch?
     let snap = tape.profiler().snapshot();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, and the test suite.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo
+echo "all checks passed"

@@ -73,7 +73,11 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     (flags, positional)
 }
 
-fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
@@ -91,7 +95,13 @@ fn variant_of(flags: &HashMap<String, String>) -> Result<ModelVariant, String> {
 
 fn small_config(variant: ModelVariant) -> ModelConfig {
     // CPU-friendly width; the full paper config is ModelConfig::for_variant.
-    ModelConfig { fea: 16, n_rbf: 16, n_harmonics: 8, n_blocks: 2, ..ModelConfig::for_variant(variant) }
+    ModelConfig {
+        fea: 16,
+        n_rbf: 16,
+        n_harmonics: 8,
+        n_blocks: 2,
+        ..ModelConfig::for_variant(variant)
+    }
 }
 
 fn dataset_from_flags(flags: &HashMap<String, String>) -> Result<SynthMPtrj, String> {
@@ -221,8 +231,14 @@ fn cmd_predict(flags: &HashMap<String, String>, positional: &[String]) -> Result
     for (i, f) in r.forces.iter().enumerate() {
         println!("  {i:>3} {:>10.5} {:>10.5} {:>10.5}", f[0], f[1], f[2]);
     }
-    println!("stress (GPa): diag [{:.4}, {:.4}, {:.4}]", r.stress[0][0], r.stress[1][1], r.stress[2][2]);
-    println!("magmoms (μ_B): {:?}", r.magmoms.iter().map(|m| (m * 1e3).round() / 1e3).collect::<Vec<_>>());
+    println!(
+        "stress (GPa): diag [{:.4}, {:.4}, {:.4}]",
+        r.stress[0][0], r.stress[1][1], r.stress[2][2]
+    );
+    println!(
+        "magmoms (μ_B): {:?}",
+        r.magmoms.iter().map(|m| (m * 1e3).round() / 1e3).collect::<Vec<_>>()
+    );
     Ok(())
 }
 
@@ -266,7 +282,10 @@ fn cmd_md(flags: &HashMap<String, String>, positional: &[String]) -> Result<(), 
     );
     println!("step | E_pot (eV) | T (K) | max|F|");
     for f in &traj.frames {
-        println!("{:>5} | {:>10.4} | {:>6.1} | {:>8.4}", f.step, f.potential, f.temperature, f.max_force);
+        println!(
+            "{:>5} | {:>10.4} | {:>6.1} | {:>8.4}",
+            f.step, f.potential, f.temperature, f.max_force
+        );
     }
     println!("mean step time: {:.4} s", traj.mean_step_time);
     Ok(())

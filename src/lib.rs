@@ -11,7 +11,9 @@
 //!   dependency elimination, Alg. 1 / Alg. 2 basis paths),
 //! * [`train`] — Huber loss, Adam + cosine annealing + Eq. 14 LR scaling,
 //!   samplers, ring all-reduce, the simulated multi-GPU cluster, metrics,
-//! * [`md`] — velocity-Verlet MD driven by the models.
+//! * [`md`] — velocity-Verlet MD driven by the models,
+//! * [`telemetry`] — scoped spans, metrics registry, and structured run
+//!   reports (console / TSV / JSONL sinks).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 pub use fc_core as core;
 pub use fc_crystal as crystal;
 pub use fc_md as md;
+pub use fc_telemetry as telemetry;
 pub use fc_tensor as tensor;
 pub use fc_train as train;
 
@@ -53,6 +56,7 @@ pub mod prelude {
         relax, run_md, time_md_step, Calculator, Ensemble, FireConfig, ForceField, MdConfig,
         OracleField,
     };
+    pub use fc_telemetry::{ConsoleSink, JsonlSink, RunReport, Sink, TsvSink};
     pub use fc_tensor::{ParamStore, Shape, Tape, Tensor, Var};
     pub use fc_train::{
         composite_loss, evaluate, train_model, Adam, Cluster, ClusterConfig, CommModel,

@@ -45,7 +45,9 @@ fn short_training_run_improves_all_properties_weighted() {
     assert!(last < first, "train loss did not improve: {first} -> {last}");
     let w = LossWeights::default();
     let score = |m: &EvalMetrics| {
-        w.energy as f64 * m.e_mae + w.force as f64 * m.f_mae + w.stress as f64 * m.s_mae
+        w.energy as f64 * m.e_mae
+            + w.force as f64 * m.f_mae
+            + w.stress as f64 * m.s_mae
             + w.magmom as f64 * m.m_mae
     };
     assert!(score(&report.epochs.last().unwrap().val).is_finite());
@@ -61,12 +63,8 @@ fn second_order_training_step_works_for_reference_model() {
     // exercises double backward end to end.
     let data = tiny_dataset(6);
     let samples: Vec<&Sample> = data.samples.iter().collect();
-    let mut cluster = Cluster::new(
-        ModelConfig::tiny(OptLevel::Reference),
-        2,
-        ClusterConfig::default(),
-        1e-3,
-    );
+    let mut cluster =
+        Cluster::new(ModelConfig::tiny(OptLevel::Reference), 2, ClusterConfig::default(), 1e-3);
     let s1 = cluster.train_step(&samples);
     assert!(s1.grad_norm > 0.0, "no gradient flowed");
     let s2 = cluster.train_step(&samples);

@@ -104,9 +104,6 @@ fn quantized_model_still_predicts() {
         let t2 = Tape::new();
         let q = t2.value(model.forward(&t2, &qstore, &batch).energy).item();
         assert!(q.is_finite());
-        assert!(
-            (q - full).abs() < 0.2 * (1.0 + full.abs()),
-            "{p:?}: {q} vs {full}"
-        );
+        assert!((q - full).abs() < 0.2 * (1.0 + full.abs()), "{p:?}: {q} vs {full}");
     }
 }

@@ -8,11 +8,7 @@ use fastchgnet::train::{
 };
 
 fn dataset() -> SynthMPtrj {
-    SynthMPtrj::generate(&DatasetConfig {
-        n_structures: 48,
-        max_atoms: 16,
-        ..Default::default()
-    })
+    SynthMPtrj::generate(&DatasetConfig { n_structures: 48, max_atoms: 16, ..Default::default() })
 }
 
 #[test]
