@@ -70,6 +70,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, kind) in [
         ("default", SamplerKind::Default),
+        ("round robin", SamplerKind::RoundRobin),
         ("paper pairing", SamplerKind::LoadBalance),
         ("greedy LPT (ext)", SamplerKind::GreedyLpt),
     ] {

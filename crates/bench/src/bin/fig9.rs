@@ -23,7 +23,7 @@ fn main() {
     let data = scale.wide_dataset();
     let features: Vec<usize> = data.samples.iter().map(|s| s.graph.feature_number()).collect();
 
-    let iters = (features.len() / global).max(1).min(40);
+    let iters = (features.len() / global).clamp(1, 40);
     let batches = epoch_batches(features.len(), global, 99);
 
     let mut tsv = String::from("iteration\tsampler\tdevice\tfeature_number\n");

@@ -122,11 +122,11 @@ fn lattice_outer_matrix(batch: &GraphBatch) -> Tensor {
     for g in 0..batch.n_graphs {
         // Normalised lattice rows.
         let mut lhat = [[0.0f32; 3]; 3];
-        for i in 0..3 {
+        for (i, lrow) in lhat.iter_mut().enumerate() {
             let row = batch.lattices.row(g * 3 + i);
             let n = (row[0] * row[0] + row[1] * row[1] + row[2] * row[2]).sqrt().max(1e-12);
-            for k in 0..3 {
-                lhat[i][k] = row[k] / n;
+            for (k, l) in lrow.iter_mut().enumerate() {
+                *l = row[k] / n;
             }
         }
         for i in 0..3 {

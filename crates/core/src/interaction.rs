@@ -31,6 +31,7 @@ impl AtomConv {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal: tape plumbing, not an API
     fn forward(
         &self,
         tape: &Tape,
@@ -76,6 +77,7 @@ impl BondConv {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // internal: tape plumbing, not an API
     fn forward(
         &self,
         tape: &Tape,

@@ -1,0 +1,21 @@
+//! Force/stress consistency of the model's derivative heads, checked
+//! through the shared `fc_verify::physics` harness. This replaced the
+//! hand-rolled finite-difference loop that used to live in
+//! `src/model.rs` unit tests.
+
+use fc_core::OptLevel;
+use fc_verify::physics::{
+    check_force_consistency, check_stress_consistency, probe_structure, Harness,
+};
+
+#[test]
+fn derivative_forces_match_finite_difference() {
+    let h = Harness::tiny(OptLevel::ParallelBasis, 3);
+    check_force_consistency(&h, &probe_structure(), 1e-3, 5e-3).assert_ok();
+}
+
+#[test]
+fn derivative_stress_matches_strain_derivative() {
+    let h = Harness::tiny(OptLevel::ParallelBasis, 3);
+    check_stress_consistency(&h, &probe_structure(), 1e-3, 5e-3).assert_ok();
+}

@@ -50,8 +50,8 @@ impl Lattice {
     /// Fractional to Cartesian: `x = f @ L`.
     pub fn frac_to_cart(&self, f: [f64; 3]) -> [f64; 3] {
         let mut x = [0.0; 3];
-        for j in 0..3 {
-            x[j] = f[0] * self.m[0][j] + f[1] * self.m[1][j] + f[2] * self.m[2][j];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = f[0] * self.m[0][j] + f[1] * self.m[1][j] + f[2] * self.m[2][j];
         }
         x
     }
@@ -60,8 +60,8 @@ impl Lattice {
     pub fn cart_to_frac(&self, x: [f64; 3]) -> [f64; 3] {
         let inv = self.inverse();
         let mut f = [0.0; 3];
-        for j in 0..3 {
-            f[j] = x[0] * inv[0][j] + x[1] * inv[1][j] + x[2] * inv[2][j];
+        for (j, fj) in f.iter_mut().enumerate() {
+            *fj = x[0] * inv[0][j] + x[1] * inv[1][j] + x[2] * inv[2][j];
         }
         f
     }
@@ -75,12 +75,12 @@ impl Lattice {
         assert!(det.abs() > 1e-12, "degenerate lattice (det = {det})");
         let inv_det = 1.0 / det;
         let mut inv = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, inv_row) in inv.iter_mut().enumerate() {
+            for (j, e) in inv_row.iter_mut().enumerate() {
                 // Cofactor expansion; note the (j, i) transpose.
                 let (a, b) = ((j + 1) % 3, (j + 2) % 3);
                 let (c, d) = ((i + 1) % 3, (i + 2) % 3);
-                inv[i][j] = (m[a][c] * m[b][d] - m[a][d] * m[b][c]) * inv_det;
+                *e = (m[a][c] * m[b][d] - m[a][d] * m[b][c]) * inv_det;
             }
         }
         inv
@@ -92,14 +92,14 @@ impl Lattice {
     pub fn image_ranges(&self, cutoff: f64) -> [i32; 3] {
         let v = self.volume();
         let mut out = [0i32; 3];
-        for i in 0..3 {
+        for (i, oi) in out.iter_mut().enumerate() {
             let b = self.m[(i + 1) % 3];
             let c = self.m[(i + 2) % 3];
             let cross =
                 [b[1] * c[2] - b[2] * c[1], b[2] * c[0] - b[0] * c[2], b[0] * c[1] - b[1] * c[0]];
             let area = (cross[0] * cross[0] + cross[1] * cross[1] + cross[2] * cross[2]).sqrt();
             let h = v / area.max(1e-12);
-            out[i] = (cutoff / h).ceil() as i32;
+            *oi = (cutoff / h).ceil() as i32;
         }
         out
     }
@@ -108,11 +108,11 @@ impl Lattice {
     /// stress oracle's finite-difference validation and the MD barostat).
     pub fn strained(&self, eps: [[f64; 3]; 3]) -> Lattice {
         let mut out = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                out[i][j] = self.m[i][j];
-                for k in 0..3 {
-                    out[i][j] += self.m[i][k] * eps[k][j];
+        for (i, orow) in out.iter_mut().enumerate() {
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = self.m[i][j];
+                for (k, erow) in eps.iter().enumerate() {
+                    *o += self.m[i][k] * erow[j];
                 }
             }
         }
@@ -151,15 +151,11 @@ mod tests {
     fn inverse_is_inverse() {
         let l = Lattice::new([3.0, 0.1, 0.0], [0.4, 2.8, 0.2], [0.0, -0.3, 3.5]);
         let inv = l.inverse();
-        for i in 0..3 {
-            for j in 0..3 {
-                let mut s = 0.0;
-                for k in 0..3 {
-                    s += l.m[i][k] * inv[k][j];
-                }
-                let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((s - expect).abs() < 1e-10, "({i},{j}): {s}");
-            }
+        for n in 0..9 {
+            let (i, j) = (n / 3, n % 3);
+            let s: f64 = (0..3).map(|k| l.m[i][k] * inv[k][j]).sum();
+            let expect = if i == j { 1.0 } else { 0.0 };
+            assert!((s - expect).abs() < 1e-10, "({i},{j}): {s}");
         }
     }
 

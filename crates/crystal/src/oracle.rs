@@ -133,9 +133,9 @@ pub fn evaluate(s: &Structure) -> Labels {
             forces[j][k] -= de_dr * unit[k];
         }
         // Virial: dE/dε_ab = Σ (dE/dr) v_a v_b / r.
-        for a in 0..3 {
-            for c in 0..3 {
-                virial[a][c] += de_dr * b.vec[a] * b.vec[c] / r;
+        for (a, vrow) in virial.iter_mut().enumerate() {
+            for (c, v) in vrow.iter_mut().enumerate() {
+                *v += de_dr * b.vec[a] * b.vec[c] / r;
             }
         }
     }

@@ -54,9 +54,9 @@ impl<'a> Calculator<'a> {
         let forces = rows3(&f);
         let s = tape.value(pred.stress);
         let mut stress = [[0.0f64; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                stress[i][j] = s.at(i, j) as f64;
+        for (i, srow) in stress.iter_mut().enumerate() {
+            for (j, e) in srow.iter_mut().enumerate() {
+                *e = s.at(i, j) as f64;
             }
         }
         let m = tape.value(pred.magmom);

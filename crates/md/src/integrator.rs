@@ -114,10 +114,10 @@ where
     structure.displace_cart(&disp);
     // New forces, second half kick.
     let forces_after = eval(structure);
-    for i in 0..n {
+    for (i, f) in forces_after.iter().enumerate().take(n) {
         let m = state.masses[i];
-        for k in 0..3 {
-            state.velocities[i][k] += 0.5 * dt_fs * forces_after[i][k] / m * ACC_UNIT;
+        for (k, fk) in f.iter().enumerate() {
+            state.velocities[i][k] += 0.5 * dt_fs * fk / m * ACC_UNIT;
         }
     }
     forces_after

@@ -111,9 +111,7 @@ pub fn relax<F: ForceField + ?Sized>(
             }
         } else {
             // Uphill: freeze and shrink.
-            for vi in &mut v {
-                *vi = [0.0; 3];
-            }
+            v.fill([0.0; 3]);
             dt *= cfg.f_dec;
             alpha = cfg.alpha_start;
             n_pos = 0;

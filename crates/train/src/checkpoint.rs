@@ -48,6 +48,33 @@ mod tests {
     }
 
     #[test]
+    fn full_model_roundtrip_is_exact() {
+        // A real model store (every layer's weights, not a toy single
+        // param) must survive save -> load bit-for-bit: same layout,
+        // same names, same shapes, identical f32 payloads.
+        use fc_core::{Chgnet, ModelConfig, OptLevel};
+        let mut store = ParamStore::new();
+        let _ = Chgnet::new(ModelConfig::tiny(OptLevel::Fusion), &mut store, 42);
+
+        let dir = std::env::temp_dir().join("fcnet_ckpt_full_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        save_checkpoint(&store, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.n_scalars(), store.n_scalars());
+        for ((_, a), (_, b)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.value.shape(), b.value.shape(), "{}", a.name);
+            for (x, y) in a.value.data().iter().zip(b.value.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}: {x} vs {y}", a.name);
+            }
+        }
+    }
+
+    #[test]
     fn load_missing_file_errors() {
         assert!(load_checkpoint("/nonexistent/path/model.bin").is_err());
     }

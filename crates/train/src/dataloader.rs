@@ -125,4 +125,28 @@ mod tests {
         let _ = pf.next_batch();
         drop(pf); // must not deadlock or panic
     }
+
+    #[test]
+    fn prefetcher_shutdown_when_consumer_never_reads() {
+        // Hardest shutdown case: the consumer drops before taking a
+        // single batch, while the producer is blocked on a full bounded
+        // channel. Drop must join the thread promptly, not hang.
+        let data = SynthMPtrj::generate(&DatasetConfig {
+            n_structures: 12,
+            max_atoms: 6,
+            ..Default::default()
+        });
+        let samples = Arc::new(data.samples);
+        let batches = epoch_batches(samples.len(), 1, 0);
+        let pf = Prefetcher::new(samples, batches, 1);
+        // Give the producer time to fill the channel and block on send.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        drop(pf);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "prefetcher drop hung for {:?}",
+            t0.elapsed()
+        );
+    }
 }

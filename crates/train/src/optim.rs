@@ -78,6 +78,14 @@ pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fc_tensor::{Tape, Var};
+    use fc_verify::{gradcheck_scalar, GradCheckConfig};
+
+    /// f(w) = Σ (w - 3)², differentiated by the tape — the old tests
+    /// hard-wired the derivative 2·(w-3) by hand.
+    fn quadratic_loss(t: &Tape, w: Var) -> Var {
+        t.sum_all(t.square(t.add_scalar(w, -3.0)))
+    }
 
     /// Minimise f(w) = (w - 3)² with Adam; must converge to w = 3.
     #[test]
@@ -86,8 +94,10 @@ mod tests {
         let w = store.add("w", Tensor::scalar(0.0));
         let mut opt = Adam::new(&store, 0.1);
         for _ in 0..500 {
-            let val = store.value(w).item();
-            store.entry_mut(w).grad = Tensor::scalar(2.0 * (val - 3.0));
+            let tape = Tape::new();
+            let loss = quadratic_loss(&tape, tape.param(&store, w));
+            let gm = tape.backward(loss);
+            store.accumulate_grads(&tape, &gm);
             opt.step(&mut store);
             store.zero_grads();
         }
@@ -103,16 +113,30 @@ mod tests {
         let b = store.add("b", Tensor::ones(1, 3));
         let mut opt = Adam::new(&store, 0.05);
         for _ in 0..300 {
-            // f = Σ (a - 1)² + Σ (b + 2)²
-            let ga: Vec<f32> = store.value(a).data().iter().map(|&x| 2.0 * (x - 1.0)).collect();
-            let gb: Vec<f32> = store.value(b).data().iter().map(|&x| 2.0 * (x + 2.0)).collect();
-            store.entry_mut(a).grad = Tensor::from_vec(fc_tensor::Shape::new(2, 2), ga);
-            store.entry_mut(b).grad = Tensor::from_vec(fc_tensor::Shape::new(1, 3), gb);
+            // f = Σ (a - 1)² + Σ (b + 2)², gradients via the tape.
+            let tape = Tape::new();
+            let la = tape.sum_all(tape.square(tape.add_scalar(tape.param(&store, a), -1.0)));
+            let lb = tape.sum_all(tape.square(tape.add_scalar(tape.param(&store, b), 2.0)));
+            let gm = tape.backward(tape.add(la, lb));
+            store.accumulate_grads(&tape, &gm);
             opt.step(&mut store);
             store.zero_grads();
         }
         assert!(store.value(a).data().iter().all(|&x| (x - 1.0).abs() < 0.05));
         assert!(store.value(b).data().iter().all(|&x| (x + 2.0).abs() < 0.05));
+    }
+
+    /// The tape gradient the Adam tests optimise against is itself
+    /// validated by the shared finite-difference engine.
+    #[test]
+    fn tape_gradient_of_test_objective_matches_fd() {
+        gradcheck_scalar(
+            "sum((w-3)²)",
+            GradCheckConfig::default(),
+            quadratic_loss,
+            &Tensor::row_vec(&[0.0, 1.4, 5.0]),
+        )
+        .assert_ok();
     }
 
     #[test]

@@ -160,7 +160,7 @@ mod tests {
         assert!(half_to_f32(f32_to_half(1e6)).is_infinite());
         let tiny = 3e-8f32;
         let r = half_to_f32(f32_to_half(tiny));
-        assert!(r >= 0.0 && r < 1e-6);
+        assert!((0.0..1e-6).contains(&r));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! `verify` — run the full correctness harness and emit a run report.
+//!
+//! ```text
+//! verify [--bless] [--seed N] [--skip-golden]
+//! ```
+//!
+//! Runs, in order: the gradcheck op registry, the physics-invariant
+//! suite at every relevant opt level, the equivalence suite, and the
+//! golden-fixture comparison. Prints a per-check table and emits a
+//! structured `RunReport` to `reports/VERIFY.json` (override the
+//! directory with `FASTCHGNET_REPORTS`). Exit code 1 if any check fails.
+//!
+//! `--bless` regenerates the golden fixture files before verifying —
+//! only do this after an intentional numerics change, and review the
+//! resulting diff.
+
+use fc_core::OptLevel;
+use fc_telemetry::{JsonlSink, Sink};
+use fc_verify::golden::GoldenReport;
+use fc_verify::report::VerifySummary;
+use fc_verify::{equivalence, golden, gradcheck, ops, physics};
+use std::path::PathBuf;
+
+fn reports_dir() -> PathBuf {
+    let dir = std::env::var("FASTCHGNET_REPORTS").unwrap_or_else(|_| "reports".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).ok();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let skip_golden = args.iter().any(|a| a == "--skip-golden");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(golden::GOLDEN_SEED);
+
+    if bless {
+        golden::bless().expect("bless golden fixtures");
+        eprintln!(
+            "blessed golden fixtures at {} (review the diff before committing)",
+            golden::fixture_dir().display()
+        );
+    }
+
+    fc_telemetry::reset();
+    fc_telemetry::set_enabled(true);
+
+    let mut sum = VerifySummary::new();
+
+    // 1. Gradcheck every registered tape op.
+    {
+        let _span = fc_telemetry::span("verify.gradcheck");
+        for case in ops::registered_ops() {
+            let rep = gradcheck::gradcheck_jacobian(
+                case.name,
+                case.cfg,
+                |t, x| (case.build)(t, x),
+                &case.input,
+            );
+            sum.add_grad("gradcheck", &rep);
+        }
+    }
+
+    // 2. Physics invariants per opt level (Decoupled skips the
+    // conservativity checks inside run_suite).
+    {
+        let _span = fc_telemetry::span("verify.physics");
+        for level in [OptLevel::ParallelBasis, OptLevel::Fusion, OptLevel::Decoupled] {
+            for c in physics::run_suite(level, seed) {
+                sum.add_check(&format!("phys/{}", level.label()), &c);
+            }
+        }
+    }
+
+    // 3. Equivalence pairs.
+    {
+        let _span = fc_telemetry::span("verify.equivalence");
+        for c in equivalence::run_suite(seed) {
+            sum.add_check("equiv", &c);
+        }
+    }
+
+    // 4. Golden fixture.
+    if !skip_golden {
+        let _span = fc_telemetry::span("verify.golden");
+        match golden::check_golden() {
+            Ok(rep) => sum.add_golden(&rep),
+            Err(e) => {
+                eprintln!("golden fixture unavailable: {e}");
+                sum.add_golden(&GoldenReport {
+                    compared: 0,
+                    mismatches: vec![golden::GoldenMismatch {
+                        key: format!("fixture load failed: {e}"),
+                        expected: None,
+                        actual: None,
+                        rel_err: f64::INFINITY,
+                    }],
+                    rel_tol: golden::GOLDEN_REL_TOL,
+                });
+            }
+        }
+    }
+
+    print!("{}", sum.render_table());
+
+    let report = sum.to_run_report(seed);
+    let path = reports_dir().join("VERIFY.json");
+    match JsonlSink::new(&path).emit(&report) {
+        Ok(()) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+
+    if !sum.all_passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Equivalence suite: implementation pairs that must agree.
+//!
+//! FastCHGNet's optimization ladder replaces reference code paths with
+//! faster ones; each replacement is only admissible if it computes the
+//! same function. This module pins down the pairs:
+//!
+//! * **Batched vs serial basis** (Alg. 2 vs Alg. 1) — identical math in
+//!   a different launch order; predictions must match to f32 rounding.
+//! * **Fused vs unfused kernels** — the fused sRBF/Fourier/LayerNorm
+//!   kernels against the composed primitive chains, through both the
+//!   value and the derivative path.
+//! * **N-device vs single-device cluster step** — data parallelism with
+//!   gradient averaging must track the one-big-device step, and the
+//!   simulated ring all-reduce must be bitwise deterministic (fixed
+//!   reduction order), so repeated N-device steps from the same state
+//!   produce bit-identical parameters.
+
+use crate::physics::CheckResult;
+use fc_core::{compute_basis, Chgnet, ModelConfig, OptLevel};
+use fc_crystal::{
+    CrystalGraph, DatasetConfig, Element, GraphBatch, Lattice, Sample, Structure, SynthMPtrj,
+};
+use fc_tensor::{ParamStore, Tape, Tensor};
+use fc_train::{ring_all_reduce, Cluster, ClusterConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Max absolute element difference between two equal-shape tensors.
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> (f64, usize) {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let mut max = 0.0f64;
+    let mut at = 0usize;
+    for (k, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        let d = f64::from((x - y).abs());
+        if d > max {
+            max = d;
+            at = k;
+        }
+    }
+    (max, at)
+}
+
+/// A three-graph batch with different sizes/species so per-graph slicing
+/// bugs cannot hide behind symmetry.
+pub fn probe_batch() -> GraphBatch {
+    let g1 = CrystalGraph::new(Structure::new(
+        Lattice::cubic(3.4),
+        vec![Element::new(3), Element::new(8)],
+        vec![[0.02, 0.0, 0.0], [0.5, 0.48, 0.51]],
+    ));
+    let g2 = CrystalGraph::new(Structure::new(
+        Lattice::cubic(3.0),
+        vec![Element::new(26)],
+        vec![[0.1, 0.0, 0.0]],
+    ));
+    let g3 = CrystalGraph::new(Structure::new(
+        Lattice::orthorhombic(3.1, 3.6, 4.0),
+        vec![Element::new(11), Element::new(17), Element::new(8)],
+        vec![[0.0, 0.0, 0.05], [0.5, 0.5, 0.45], [0.25, 0.7, 0.1]],
+    ));
+    GraphBatch::collate(&[&g1, &g2, &g3], None)
+}
+
+/// Fused sRBF/Fourier kernels vs the unfused reference chains, on the
+/// basis outputs of a mixed batch.
+pub fn check_fused_basis_values(tol: f64) -> CheckResult {
+    let batch = probe_batch();
+    let mut cfg = ModelConfig::tiny(OptLevel::ParallelBasis);
+    let t_unf = Tape::new();
+    let unf = compute_basis(&t_unf, &batch, &cfg, false);
+    cfg.opt_level = OptLevel::Fusion;
+    let t_fus = Tape::new();
+    let fus = compute_basis(&t_fus, &batch, &cfg, false);
+
+    let (rbf_err, rbf_at) = max_abs_diff(&t_unf.value(unf.rbf), &t_fus.value(fus.rbf));
+    let (abf_err, abf_at) = max_abs_diff(&t_unf.value(unf.abf), &t_fus.value(fus.abf));
+    let (max_err, detail) = if rbf_err >= abf_err {
+        (rbf_err, format!("rbf element {rbf_at}"))
+    } else {
+        (abf_err, format!("abf element {abf_at}"))
+    };
+    CheckResult { name: "fused_vs_unfused_basis".into(), max_err, tol, detail }
+}
+
+/// Fused LayerNorm kernel vs the composed primitive chain: values and
+/// the full input Jacobian.
+pub fn check_fused_layer_norm(tol: f64) -> CheckResult {
+    let x0 = Tensor::from_vec(
+        fc_tensor::Shape::new(3, 4),
+        vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8, 0.15, 0.6, -0.4, 0.9, -0.1, 0.2],
+    );
+    let gamma = Tensor::from_vec(fc_tensor::Shape::new(1, 4), vec![1.1, 0.9, 1.3, 0.8]);
+    let beta = Tensor::from_vec(fc_tensor::Shape::new(1, 4), vec![0.1, -0.2, 0.05, 0.0]);
+
+    let eval = |fused: bool| -> (Tensor, Tensor) {
+        let t = Tape::new();
+        let x = t.input(x0.clone());
+        let g = t.constant(gamma.clone());
+        let b = t.constant(beta.clone());
+        let y = if fused { t.fused_layer_norm(x, g, b, 1e-5) } else { t.layer_norm(x, g, b, 1e-5) };
+        let jac = t.jacobian(y, x);
+        (t.value(y), jac)
+    };
+    let (yf, jf) = eval(true);
+    let (yu, ju) = eval(false);
+    let (v_err, v_at) = max_abs_diff(&yf, &yu);
+    let (j_err, j_at) = max_abs_diff(&jf, &ju);
+    let (max_err, detail) = if v_err >= j_err {
+        (v_err, format!("value element {v_at}"))
+    } else {
+        (j_err, format!("jacobian element {j_at}"))
+    };
+    CheckResult { name: "fused_vs_unfused_layer_norm".into(), max_err, tol, detail }
+}
+
+/// Fused gate kernel vs `sigmoid(a) * silu(b)`: values and Jacobians
+/// with respect to both operands (probed via a shared input).
+pub fn check_fused_gate(tol: f64) -> CheckResult {
+    let x0 = Tensor::from_vec(fc_tensor::Shape::new(2, 3), vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8]);
+    let eval = |fused: bool| -> (Tensor, Tensor) {
+        let t = Tape::new();
+        let x = t.input(x0.clone());
+        let c = t.constant(Tensor::from_vec(
+            fc_tensor::Shape::new(2, 3),
+            vec![0.6, 1.3, -0.9, 2.1, 0.45, -1.8],
+        ));
+        // Gate both ways so the VJPs of both operands are exercised.
+        let y1 = if fused { t.fused_gate(x, c) } else { t.mul(t.sigmoid(x), t.silu(c)) };
+        let y2 = if fused { t.fused_gate(c, x) } else { t.mul(t.sigmoid(c), t.silu(x)) };
+        let y = t.add(y1, y2);
+        let jac = t.jacobian(y, x);
+        (t.value(y), jac)
+    };
+    let (yf, jf) = eval(true);
+    let (yu, ju) = eval(false);
+    let (v_err, v_at) = max_abs_diff(&yf, &yu);
+    let (j_err, j_at) = max_abs_diff(&jf, &ju);
+    let (max_err, detail) = if v_err >= j_err {
+        (v_err, format!("value element {v_at}"))
+    } else {
+        (j_err, format!("jacobian element {j_at}"))
+    };
+    CheckResult { name: "fused_vs_unfused_gate".into(), max_err, tol, detail }
+}
+
+/// Forward two same-seed models at different opt levels over the same
+/// batch and report the worst energy/forces/stress discrepancy.
+fn compare_levels(a: OptLevel, b: OptLevel, seed: u64, name: &str, tol: f64) -> CheckResult {
+    let batch = probe_batch();
+    let predict = |level: OptLevel| -> (Tensor, Tensor, Tensor) {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(level), &mut store, seed);
+        let tape = Tape::new();
+        let p = model.forward(&tape, &store, &batch);
+        (tape.value(p.energy), tape.value(p.forces), tape.value(p.stress))
+    };
+    let (ea, fa, sa) = predict(a);
+    let (eb, fb, sb) = predict(b);
+    let (e_err, e_at) = max_abs_diff(&ea, &eb);
+    let (f_err, f_at) = max_abs_diff(&fa, &fb);
+    let (s_err, s_at) = max_abs_diff(&sa, &sb);
+    let mut max_err = e_err;
+    let mut detail = format!("energy graph {e_at}");
+    if f_err > max_err {
+        max_err = f_err;
+        detail = format!("force element {f_at}");
+    }
+    if s_err > max_err {
+        max_err = s_err;
+        detail = format!("stress element {s_at}");
+    }
+    CheckResult { name: name.into(), max_err, tol, detail }
+}
+
+/// Alg. 2's batched basis vs Alg. 1's per-graph serial basis, through
+/// the full model (energy, forces, stress on a mixed batch).
+pub fn check_batched_vs_serial_model(seed: u64, tol: f64) -> CheckResult {
+    compare_levels(
+        OptLevel::Reference,
+        OptLevel::ParallelBasis,
+        seed,
+        "batched_vs_serial_basis_model",
+        tol,
+    )
+}
+
+/// The fully fused level vs the unfused batched level through the whole
+/// derivative path (forces/stress come from the fused kernels' VJPs).
+pub fn check_fusion_vs_parallel_model(seed: u64, tol: f64) -> CheckResult {
+    compare_levels(OptLevel::ParallelBasis, OptLevel::Fusion, seed, "fused_vs_unfused_model", tol)
+}
+
+fn cluster_dataset(seed: u64) -> SynthMPtrj {
+    SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 8,
+        max_atoms: 8,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn make_cluster(n_devices: usize, seed: u64) -> Cluster {
+    Cluster::new(
+        ModelConfig::tiny(OptLevel::Decoupled),
+        seed,
+        ClusterConfig { n_devices, grad_clip: None, ..Default::default() },
+        CLUSTER_LR as f32,
+    )
+}
+
+/// Learning rate used by the cluster equivalence checks (the parameter
+/// bound below is stated in multiples of it).
+const CLUSTER_LR: f64 = 1e-3;
+
+/// One N-device data-parallel step vs the single-device step.
+///
+/// Adam's first step moves every parameter by exactly `±lr` (the
+/// bias-corrected `m/√v` is the gradient's sign), so two runs whose
+/// gradients agree up to f32 reduction noise can still differ by `2·lr`
+/// on elements whose near-zero gradient flips sign. The structural bound
+/// is therefore `2·lr` (+5% headroom) on parameters — anything above it
+/// means the N-device gradient genuinely diverged — plus a loose
+/// agreement bound on the reported loss (per-device means weight
+/// variable-size graphs differently than the global mean, so it is not
+/// exact).
+pub fn check_cluster_one_vs_n(n_devices: usize) -> Vec<CheckResult> {
+    let data = cluster_dataset(41);
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let mut c1 = make_cluster(1, 5);
+    let mut cn = make_cluster(n_devices, 5);
+    let s1 = c1.train_step(&samples);
+    let sn = cn.train_step(&samples);
+
+    let mut max_err = 0.0f64;
+    let mut detail = String::from("all parameters within the Adam step bound");
+    for (id, e1) in c1.store.iter() {
+        let en = cn.store.entry(id);
+        let (d, at) = max_abs_diff(&e1.value, &en.value);
+        if d > max_err {
+            max_err = d;
+            detail = format!("param '{}' element {at}", e1.name);
+        }
+    }
+    let param_check = CheckResult {
+        name: format!("cluster_1_vs_{n_devices}_devices_params"),
+        max_err,
+        tol: 2.1 * CLUSTER_LR,
+        detail,
+    };
+    let loss_rel = (s1.loss - sn.loss).abs() / (1.0 + s1.loss.abs().max(sn.loss.abs()));
+    let loss_check = CheckResult {
+        name: format!("cluster_1_vs_{n_devices}_devices_loss"),
+        max_err: loss_rel,
+        tol: 0.05,
+        detail: format!("loss {} (1 dev) vs {} ({n_devices} dev)", s1.loss, sn.loss),
+    };
+    vec![param_check, loss_check]
+}
+
+/// Bitwise determinism of the N-device step: two clusters built from the
+/// same seed, stepped on the same batch, must end with bit-identical
+/// parameters (the simulated ring all-reduce has a fixed reduction
+/// order). `max_err` counts mismatching scalars; the tolerance is zero.
+pub fn check_cluster_determinism(n_devices: usize) -> CheckResult {
+    let data = cluster_dataset(43);
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let mut ca = make_cluster(n_devices, 9);
+    let mut cb = make_cluster(n_devices, 9);
+    ca.train_step(&samples);
+    cb.train_step(&samples);
+
+    let mut mismatches = 0u64;
+    let mut detail = String::from("bit-identical");
+    for (id, ea) in ca.store.iter() {
+        let eb = cb.store.entry(id);
+        for (k, (x, y)) in ea.value.data().iter().zip(eb.value.data()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                if mismatches == 0 {
+                    detail = format!("first mismatch: param '{}' element {k}", ea.name);
+                }
+                mismatches += 1;
+            }
+        }
+    }
+    CheckResult {
+        name: format!("cluster_{n_devices}_device_determinism"),
+        max_err: mismatches as f64,
+        tol: 0.0,
+        detail,
+    }
+}
+
+/// Bitwise determinism of the ring all-reduce itself: reducing cloned
+/// buffer sets twice must produce bit-identical results on every rank.
+pub fn check_allreduce_determinism(n_ranks: usize, len: usize) -> CheckResult {
+    let mut rng = StdRng::seed_from_u64(17);
+    let buffers: Vec<Vec<f32>> =
+        (0..n_ranks).map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let mut a = buffers.clone();
+    let mut b = buffers;
+    ring_all_reduce(&mut a);
+    ring_all_reduce(&mut b);
+
+    let mut mismatches = 0u64;
+    let mut detail = String::from("bit-identical");
+    for (r, (ba, bb)) in a.iter().zip(&b).enumerate() {
+        for (k, (x, y)) in ba.iter().zip(bb).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                if mismatches == 0 {
+                    detail = format!("first mismatch: rank {r} element {k}");
+                }
+                mismatches += 1;
+            }
+        }
+    }
+    // Ranks must also agree with each other after the reduce.
+    for (r, ba) in a.iter().enumerate().skip(1) {
+        for (k, (x, y)) in a[0].iter().zip(ba).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                if mismatches == 0 {
+                    detail = format!("rank 0 vs rank {r} diverge at element {k}");
+                }
+                mismatches += 1;
+            }
+        }
+    }
+    CheckResult {
+        name: "allreduce_determinism".into(),
+        max_err: mismatches as f64,
+        tol: 0.0,
+        detail,
+    }
+}
+
+/// The full equivalence suite with default tolerances.
+pub fn run_suite(seed: u64) -> Vec<CheckResult> {
+    let mut out = vec![
+        check_fused_basis_values(1e-3),
+        check_fused_layer_norm(1e-4),
+        check_fused_gate(1e-5),
+        check_batched_vs_serial_model(seed, 1e-3),
+        check_fusion_vs_parallel_model(seed, 5e-2),
+    ];
+    out.extend(check_cluster_one_vs_n(4));
+    out.push(check_cluster_determinism(4));
+    out.push(check_allreduce_determinism(4, 257));
+    out
+}

@@ -1,0 +1,308 @@
+//! Golden regression fixtures: committed checkpoint bytes plus expected
+//! energy/force/stress/loss values, and the tolerance-aware comparer.
+//!
+//! The scheme is deliberately RNG-free at verification time: the fixture
+//! stores the *parameter bytes* (written once by [`bless`]), and the
+//! test path rebuilds the model layout with any seed, then overwrites
+//! every value from the checkpoint. The forward pass, oracle labels, and
+//! loss are deterministic f32/f64 arithmetic, so the committed values
+//! reproduce bit-for-bit on any build of this workspace — a silent
+//! numerics change anywhere in tensor/crystal/core/train moves them and
+//! fails the comparison.
+//!
+//! The negative test (perturb one weight → comparison must fail) guards
+//! the guard: it proves the fixture actually has discriminating power.
+
+use fc_core::{Chgnet, ModelConfig, OptLevel};
+use fc_crystal::{CrystalGraph, Element, GraphBatch, Lattice, Sample, Structure};
+use fc_tensor::{ParamStore, Tape};
+use fc_train::{composite_loss, LossWeights};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Seed baked into the blessed checkpoint (only meaningful at bless
+/// time; verification never draws random numbers).
+pub const GOLDEN_SEED: u64 = 2024;
+
+/// Opt level the fixture model runs at (the paper's fully fused path).
+pub const GOLDEN_LEVEL: OptLevel = OptLevel::Fusion;
+
+/// Relative tolerance of the comparer. Committed values are exact for
+/// this workspace; the headroom only absorbs libm one-ulp differences
+/// across toolchains, far below any real numerics change.
+pub const GOLDEN_REL_TOL: f64 = 1e-5;
+
+/// Directory holding the committed fixture files.
+pub fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Path of the committed parameter checkpoint.
+pub fn checkpoint_path() -> PathBuf {
+    fixture_dir().join("golden_model.ckpt")
+}
+
+/// Path of the committed expected-values table.
+pub fn values_path() -> PathBuf {
+    fixture_dir().join("golden_values.tsv")
+}
+
+/// The two hand-coded fixture structures (no RNG involved).
+pub fn fixture_structures() -> Vec<Structure> {
+    vec![
+        Structure::new(
+            Lattice::cubic(3.4),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.02, 0.0, 0.0], [0.5, 0.48, 0.51]],
+        ),
+        Structure::new(
+            Lattice::orthorhombic(3.1, 3.6, 4.0),
+            vec![Element::new(11), Element::new(17), Element::new(8)],
+            vec![[0.0, 0.0, 0.05], [0.5, 0.5, 0.45], [0.25, 0.7, 0.1]],
+        ),
+    ]
+}
+
+/// Labelled fixture batch (labels come from the deterministic oracle).
+pub fn fixture_batch() -> GraphBatch {
+    let samples: Vec<Sample> =
+        fixture_structures().into_iter().map(Sample::from_structure).collect();
+    let graphs: Vec<&CrystalGraph> = samples.iter().map(|s| &s.graph).collect();
+    let labels: Vec<_> = samples.iter().map(|s| &s.labels).collect();
+    GraphBatch::collate(&graphs, Some(&labels))
+}
+
+/// A named set of scalar observables, the unit of golden comparison.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GoldenValues {
+    /// Key → value, ordered for stable serialization.
+    pub entries: BTreeMap<String, f64>,
+}
+
+impl GoldenValues {
+    /// Serialize as `key\tvalue` lines (f64 shortest round-trip form).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(&format!("{k}\t{v:e}\n"));
+        }
+        out
+    }
+
+    /// Parse the TSV form written by [`GoldenValues::to_tsv`].
+    pub fn from_tsv(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: missing tab separator", ln + 1))?;
+            let val: f64 =
+                v.trim().parse().map_err(|e| format!("line {}: bad value: {e}", ln + 1))?;
+            entries.insert(k.to_string(), val);
+        }
+        Ok(GoldenValues { entries })
+    }
+}
+
+/// One key whose value (or presence) disagrees.
+#[derive(Clone, Debug)]
+pub struct GoldenMismatch {
+    /// The observable key.
+    pub key: String,
+    /// Committed value (`None` = unexpectedly present).
+    pub expected: Option<f64>,
+    /// Recomputed value (`None` = missing).
+    pub actual: Option<f64>,
+    /// Relative error, where both sides exist.
+    pub rel_err: f64,
+}
+
+/// Outcome of a golden comparison.
+#[derive(Clone, Debug)]
+pub struct GoldenReport {
+    /// Number of keys compared (union of both sides).
+    pub compared: usize,
+    /// Keys out of tolerance, missing, or extra.
+    pub mismatches: Vec<GoldenMismatch>,
+    /// The tolerance applied.
+    pub rel_tol: f64,
+}
+
+impl GoldenReport {
+    /// Did every key agree within tolerance?
+    pub fn is_ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Panic listing every mismatching key.
+    pub fn assert_ok(&self) {
+        if self.is_ok() {
+            return;
+        }
+        let mut msg = format!(
+            "golden comparison failed: {}/{} keys disagree (rel_tol={:.1e})",
+            self.mismatches.len(),
+            self.compared,
+            self.rel_tol
+        );
+        for m in &self.mismatches {
+            msg.push_str(&format!(
+                "\n  {}: expected={:?} actual={:?} rel_err={:.3e}",
+                m.key, m.expected, m.actual, m.rel_err
+            ));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// Tolerance-aware comparison of two value sets; missing and extra keys
+/// both count as mismatches.
+pub fn compare(expected: &GoldenValues, actual: &GoldenValues, rel_tol: f64) -> GoldenReport {
+    let mut keys: Vec<&String> = expected.entries.keys().collect();
+    for k in actual.entries.keys() {
+        if !expected.entries.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    let mut mismatches = Vec::new();
+    for k in &keys {
+        let e = expected.entries.get(*k).copied();
+        let a = actual.entries.get(*k).copied();
+        match (e, a) {
+            (Some(ev), Some(av)) => {
+                let rel_err = (av - ev).abs() / (1.0 + ev.abs().max(av.abs()));
+                // NaN must count as a mismatch, hence the explicit check.
+                if rel_err.is_nan() || rel_err > rel_tol {
+                    mismatches.push(GoldenMismatch {
+                        key: (*k).clone(),
+                        expected: e,
+                        actual: a,
+                        rel_err,
+                    });
+                }
+            }
+            _ => mismatches.push(GoldenMismatch {
+                key: (*k).clone(),
+                expected: e,
+                actual: a,
+                rel_err: f64::INFINITY,
+            }),
+        }
+    }
+    GoldenReport { compared: keys.len(), mismatches, rel_tol }
+}
+
+/// Build the fixture model layout and load `params` into it, then run
+/// the forward + loss and extract the observable set. RNG-free given a
+/// parameter source.
+pub fn compute_observables(params: &ParamStore) -> GoldenValues {
+    let mut store = ParamStore::new();
+    // Seed irrelevant: every value is overwritten from `params`.
+    let model = Chgnet::new(ModelConfig::tiny(GOLDEN_LEVEL), &mut store, 0);
+    store.copy_values_from(params);
+
+    let batch = fixture_batch();
+    let labels = batch.labels.clone().expect("fixture batch has labels");
+    let tape = Tape::new();
+    let pred = model.forward(&tape, &store, &batch);
+    let loss = composite_loss(&tape, &pred, &labels, &LossWeights::default());
+
+    let mut entries = BTreeMap::new();
+    let energy = tape.value(pred.energy);
+    for g in 0..energy.rows() {
+        entries.insert(format!("energy/graph{g}"), f64::from(energy.data()[g]));
+    }
+    let forces = tape.value(pred.forces);
+    for atom in [0usize, 2] {
+        for (a, axis) in ["x", "y", "z"].iter().enumerate() {
+            entries
+                .insert(format!("force/atom{atom}/{axis}"), f64::from(forces.data()[atom * 3 + a]));
+        }
+    }
+    let stress = tape.value(pred.stress);
+    for d in 0..3 {
+        entries.insert(format!("stress/graph0/diag{d}"), f64::from(stress.data()[d * 3 + d]));
+    }
+    for (name, var) in [
+        ("loss/total", loss.total),
+        ("loss/energy", loss.energy),
+        ("loss/force", loss.force),
+        ("loss/stress", loss.stress),
+        ("loss/magmom", loss.magmom),
+    ] {
+        entries.insert(name.to_string(), f64::from(tape.value(var).data()[0]));
+    }
+    GoldenValues { entries }
+}
+
+/// Load the committed checkpoint bytes into a [`ParamStore`].
+pub fn load_committed_params() -> Result<ParamStore, String> {
+    let bytes = std::fs::read(checkpoint_path())
+        .map_err(|e| format!("read {}: {e}", checkpoint_path().display()))?;
+    ParamStore::from_bytes(&bytes)
+}
+
+/// Load the committed expected values.
+pub fn load_committed_values() -> Result<GoldenValues, String> {
+    let text = std::fs::read_to_string(values_path())
+        .map_err(|e| format!("read {}: {e}", values_path().display()))?;
+    GoldenValues::from_tsv(&text)
+}
+
+/// Compare the committed fixture against a fresh recomputation.
+pub fn check_golden() -> Result<GoldenReport, String> {
+    let params = load_committed_params()?;
+    let expected = load_committed_values()?;
+    let actual = compute_observables(&params);
+    Ok(compare(&expected, &actual, GOLDEN_REL_TOL))
+}
+
+/// Regenerate the fixture files: a freshly initialised model at
+/// [`GOLDEN_SEED`] plus its observables. Only run deliberately (the
+/// `verify` binary's `--bless` flag) — committed values change with any
+/// intentional numerics change and must be re-reviewed.
+pub fn bless() -> Result<(), String> {
+    let mut store = ParamStore::new();
+    let _model = Chgnet::new(ModelConfig::tiny(GOLDEN_LEVEL), &mut store, GOLDEN_SEED);
+    let values = compute_observables(&store);
+    std::fs::create_dir_all(fixture_dir()).map_err(|e| e.to_string())?;
+    std::fs::write(checkpoint_path(), store.to_bytes()).map_err(|e| e.to_string())?;
+    let header = "# Golden observables for the fc_verify fixture model.\n\
+                  # Regenerate with: cargo run -p fc_verify --bin verify -- --bless\n";
+    std::fs::write(values_path(), format!("{header}{}", values.to_tsv()))
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trips() {
+        let mut v = GoldenValues::default();
+        v.entries.insert("a/b".into(), -1.2345678901234e-7);
+        v.entries.insert("c".into(), 42.0);
+        let parsed = GoldenValues::from_tsv(&v.to_tsv()).unwrap();
+        assert_eq!(v, parsed);
+    }
+
+    #[test]
+    fn comparer_flags_value_and_key_mismatches() {
+        let mut e = GoldenValues::default();
+        e.entries.insert("x".into(), 1.0);
+        e.entries.insert("gone".into(), 2.0);
+        let mut a = GoldenValues::default();
+        a.entries.insert("x".into(), 1.5);
+        a.entries.insert("extra".into(), 3.0);
+        let rep = compare(&e, &a, 1e-6);
+        assert_eq!(rep.compared, 3);
+        assert_eq!(rep.mismatches.len(), 3);
+        let ok = compare(&e, &e.clone(), 1e-12);
+        assert!(ok.is_ok());
+    }
+}

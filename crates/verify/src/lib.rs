@@ -1,0 +1,36 @@
+//! Cross-layer correctness harness for the FastCHGNet workspace.
+//!
+//! Everything the workspace uses to convince itself the physics is right
+//! lives here, behind one crate boundary:
+//!
+//! * [`gradcheck`] — the generic central-difference vs reverse-mode
+//!   engine with per-element failure reporting. All gradient tests in
+//!   tensor/core/train delegate to it instead of hand-rolling FD loops.
+//! * [`ops`] — a registry pairing every differentiable tape op with a
+//!   smooth-safe probe input, so `cargo test -p fc_verify` gradchecks
+//!   the whole op surface in one sweep.
+//! * [`physics`] — model-level invariants on [`fc_core::Chgnet`]: force
+//!   consistency (F = −∂E/∂x), stress consistency (virial vs strain
+//!   derivative), translation/rotation invariance, permutation
+//!   equivariance, and NVE energy-drift bounds via the md crate.
+//! * [`equivalence`] — pairs of implementations that must agree: fused
+//!   vs unfused kernels, batched vs serial basis (Alg. 1), and an
+//!   N-device cluster step vs the single-device step.
+//! * [`golden`] — tolerance-aware comparison against committed
+//!   regression fixtures (checkpoint bytes + expected energy/force/loss
+//!   values), including the bless path that regenerates them.
+//! * [`report`] — aggregates suite outcomes into a telemetry
+//!   [`fc_telemetry::RunReport`] for the `verify` bench binary.
+//!
+//! The crate is a *harness*: its library surface is consumed by other
+//! crates' dev-dependencies (cargo permits the cycle) and by its own
+//! integration tests under `tests/`.
+
+pub mod equivalence;
+pub mod golden;
+pub mod gradcheck;
+pub mod ops;
+pub mod physics;
+pub mod report;
+
+pub use gradcheck::{gradcheck_jacobian, gradcheck_scalar, GradCheckConfig, GradReport};

@@ -1,0 +1,305 @@
+//! Registry of gradcheck cases covering every differentiable tape op.
+//!
+//! Each case pairs an op (or a one-op composition, for ops that need
+//! auxiliary constants) with a smooth-safe input: positive for
+//! `ln`/`sqrt`/`recip`, inside (-1, 1) for `arccos`, and at least one FD
+//! step away from the kinks of `abs`/`clamp`/`huber`. Piecewise-constant
+//! ops (`sign`, `lt_scalar`) are included too — away from their
+//! thresholds both the analytic gradient and the central difference are
+//! zero, so a VJP that wrongly leaks gradient through them fails the
+//! check.
+
+use crate::gradcheck::GradCheckConfig;
+use fc_tensor::{Axis, Shape, SrbfCfg, Tape, Tensor, Var};
+use std::sync::Arc;
+
+/// One registered gradcheck case.
+pub struct OpCase {
+    /// Unique case name (`op` or `op/variant`).
+    pub name: &'static str,
+    /// Step/tolerance config for this op class.
+    pub cfg: GradCheckConfig,
+    /// Smooth-safe input the Jacobian is evaluated at.
+    pub input: Tensor,
+    /// Builds the function under test on a fresh tape.
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn Fn(&Tape, Var) -> Var>,
+}
+
+fn case(
+    name: &'static str,
+    cfg: GradCheckConfig,
+    input: Tensor,
+    build: impl Fn(&Tape, Var) -> Var + 'static,
+) -> OpCase {
+    OpCase { name, cfg, input, build: Box::new(build) }
+}
+
+/// A generic well-conditioned `(2, 3)` input away from every kink.
+fn generic23() -> Tensor {
+    Tensor::from_vec(Shape::new(2, 3), vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8])
+}
+
+/// Strictly positive `(2, 3)` input for `ln`/`sqrt`/`recip`/`div`.
+fn positive23() -> Tensor {
+    Tensor::from_vec(Shape::new(2, 3), vec![0.6, 1.3, 0.9, 2.1, 0.45, 1.8])
+}
+
+/// Every differentiable tape op with a suitable probe input.
+pub fn registered_ops() -> Vec<OpCase> {
+    let d = GradCheckConfig::default;
+    let mut cases = vec![
+        // ------------------------------------------------------ unary ops
+        case("neg", d(), generic23(), |t, x| t.neg(x)),
+        case("exp", d(), generic23(), |t, x| t.exp(x)),
+        case("ln", d(), positive23(), |t, x| t.ln(x)),
+        case("sqrt", d(), positive23(), |t, x| t.sqrt(x)),
+        case("sin", d(), generic23(), |t, x| t.sin(x)),
+        case("cos", d(), generic23(), |t, x| t.cos(x)),
+        case(
+            "arccos",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(1, 4), vec![-0.8, -0.25, 0.3, 0.75]),
+            |t, x| t.arccos(x),
+        ),
+        case("sigmoid", d(), generic23(), |t, x| t.sigmoid(x)),
+        case("silu", d(), generic23(), |t, x| t.silu(x)),
+        case("tanh", d(), generic23(), |t, x| t.tanh(x)),
+        case("recip", d(), positive23(), |t, x| t.recip(x)),
+        case("square", d(), generic23(), |t, x| t.square(x)),
+        case("abs", d(), generic23(), |t, x| t.abs(x)),
+        case("sign", d(), generic23(), |t, x| t.sign(x)),
+        case("powi/3", d(), generic23(), |t, x| t.powi(x, 3)),
+        case("powi/-2", d(), positive23(), |t, x| t.powi(x, -2)),
+        case("scale", d(), generic23(), |t, x| t.scale(x, 2.5)),
+        case("add_scalar", d(), generic23(), |t, x| t.add_scalar(x, 1.5)),
+        case("clamp_max", d(), generic23(), |t, x| t.clamp_max(x, 0.6)),
+        case("lt_scalar", d(), generic23(), |t, x| t.lt_scalar(x, 0.6)),
+        case("clamp", d(), generic23(), |t, x| t.clamp(x, -0.5, 0.9)),
+        // ----------------------------------------------------- binary ops
+        case("add/const_rhs", d(), generic23(), |t, x| {
+            let c = t.constant(positive23());
+            t.add(x, c)
+        }),
+        case("sub/const_rhs", d(), generic23(), |t, x| {
+            let c = t.constant(positive23());
+            t.sub(x, c)
+        }),
+        case("mul/const_rhs", d(), generic23(), |t, x| {
+            let c = t.constant(positive23());
+            t.mul(x, c)
+        }),
+        case("mul/self", d(), generic23(), |t, x| t.mul(x, x)),
+        case("div/const_rhs", d(), generic23(), |t, x| {
+            let c = t.constant(positive23());
+            t.div(x, c)
+        }),
+        case("div/const_lhs", GradCheckConfig::loose(), positive23(), |t, x| {
+            let c = t.constant(generic23());
+            t.div(c, x)
+        }),
+        case(
+            "add/broadcast_row",
+            d(),
+            Tensor::from_vec(Shape::new(1, 3), vec![0.2, -0.4, 0.7]),
+            |t, x| {
+                let c = t.constant(positive23());
+                t.add(c, x)
+            },
+        ),
+        // --------------------------------------------- matmul / structure
+        case("matmul/rhs_const", d(), generic23(), |t, x| {
+            let c = t
+                .constant(Tensor::from_vec(Shape::new(3, 2), vec![0.5, -0.3, 0.8, 0.1, -0.6, 0.9]));
+            t.matmul(x, c)
+        }),
+        case("matmul/lhs_const", d(), generic23(), |t, x| {
+            let c = t.constant(Tensor::from_vec(Shape::new(4, 2), vec![0.4; 8]));
+            t.matmul(c, x)
+        }),
+        case("transpose", d(), generic23(), |t, x| t.transpose(x)),
+        case("sum/rows", d(), generic23(), |t, x| t.sum(x, Axis::Rows)),
+        case("sum/cols", d(), generic23(), |t, x| t.sum(x, Axis::Cols)),
+        case("sum/all", d(), generic23(), |t, x| t.sum_all(x)),
+        case("mean_all", d(), generic23(), |t, x| t.mean_all(x)),
+        case(
+            "broadcast_to",
+            d(),
+            Tensor::from_vec(Shape::new(1, 3), vec![0.3, -0.7, 1.1]),
+            |t, x| t.broadcast_to(x, Shape::new(4, 3)),
+        ),
+        case("gather", d(), generic23(), |t, x| t.gather(x, Arc::from([1u32, 0, 1, 1].as_slice()))),
+        case(
+            "segment_sum",
+            d(),
+            Tensor::from_vec(Shape::new(4, 2), vec![0.1, 0.9, -0.3, 0.4, 0.7, -0.8, 0.2, 0.5]),
+            |t, x| t.segment_sum(x, Arc::from([0u32, 0, 1, 1].as_slice()), 2),
+        ),
+        case("concat_cols", d(), generic23(), |t, x| {
+            let c = t.constant(Tensor::from_vec(Shape::new(2, 1), vec![0.5, -0.5]));
+            t.concat_cols(&[x, c])
+        }),
+        case("concat_cols/self_twice", d(), generic23(), |t, x| t.concat_cols(&[x, x])),
+        case("concat_rows", d(), generic23(), |t, x| {
+            let c = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![0.5, -0.5, 0.1]));
+            t.concat_rows(&[c, x])
+        }),
+        case(
+            "slice_cols",
+            d(),
+            Tensor::from_vec(Shape::new(2, 4), vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]),
+            |t, x| t.slice_cols(x, 1, 2),
+        ),
+        case("slice_rows", d(), generic23(), |t, x| t.slice_rows(x, 1, 1)),
+        case(
+            "pad_cols",
+            d(),
+            Tensor::from_vec(Shape::new(2, 2), vec![0.1, -0.2, 0.3, -0.4]),
+            |t, x| t.pad_cols(x, 1, 4),
+        ),
+        case(
+            "pad_rows",
+            d(),
+            Tensor::from_vec(Shape::new(2, 2), vec![0.1, -0.2, 0.3, -0.4]),
+            |t, x| t.pad_rows(x, 1, 4),
+        ),
+        case("reshape", d(), generic23(), |t, x| t.reshape(x, 3, 2)),
+        case(
+            "block_diag_matmul/a",
+            d(),
+            Tensor::from_vec(
+                Shape::new(4, 3),
+                vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8, 0.15, 0.6, -0.4, 0.9, -0.1, 0.2],
+            ),
+            |t, x| {
+                let b = t.constant(Tensor::from_vec(
+                    Shape::new(6, 3),
+                    vec![
+                        1.0, 0.1, 0.0, 0.2, 0.9, 0.1, 0.0, 0.1, 1.1, // block 0
+                        0.8, 0.0, 0.3, 0.1, 1.2, 0.0, 0.2, 0.0, 0.7, // block 1
+                    ],
+                ));
+                t.block_diag_matmul(x, b, Arc::from([0u32, 0, 1, 1].as_slice()), false)
+            },
+        ),
+        case(
+            "block_diag_matmul/b",
+            d(),
+            Tensor::from_vec(
+                Shape::new(6, 3),
+                vec![
+                    1.0, 0.1, 0.0, 0.2, 0.9, 0.1, 0.0, 0.1, 1.1, 0.8, 0.0, 0.3, 0.1, 1.2, 0.0, 0.2,
+                    0.0, 0.7,
+                ],
+            ),
+            |t, x| {
+                let a = t.constant(Tensor::from_vec(
+                    Shape::new(4, 3),
+                    vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8, 0.15, 0.6, -0.4, 0.9, -0.1, 0.2],
+                ));
+                t.block_diag_matmul(a, x, Arc::from([0u32, 0, 1, 1].as_slice()), false)
+            },
+        ),
+        case(
+            "block_diag_matmul/b_trans",
+            d(),
+            Tensor::from_vec(
+                Shape::new(6, 3),
+                vec![
+                    1.0, 0.1, 0.0, 0.2, 0.9, 0.1, 0.0, 0.1, 1.1, 0.8, 0.0, 0.3, 0.1, 1.2, 0.0, 0.2,
+                    0.0, 0.7,
+                ],
+            ),
+            |t, x| {
+                let a = t.constant(Tensor::from_vec(
+                    Shape::new(2, 3),
+                    vec![0.3, -0.7, 1.1, 0.45, -0.2, 0.8],
+                ));
+                t.block_diag_matmul(a, x, Arc::from([0u32, 1].as_slice()), true)
+            },
+        ),
+        // ------------------------------------------------------ fused ops
+        case(
+            "fused_srbf/order0",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(3, 1), vec![0.8, 1.9, 3.1]),
+            |t, x| t.fused_srbf(x, SrbfCfg::new(4, 4.0, 6), 0),
+        ),
+        case(
+            "fused_srbf/order1",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(3, 1), vec![0.8, 1.9, 3.1]),
+            |t, x| t.fused_srbf(x, SrbfCfg::new(4, 4.0, 6), 1),
+        ),
+        case(
+            "fused_fourier/order0",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(3, 1), vec![0.4, 1.5, 2.7]),
+            |t, x| t.fused_fourier(x, 3, 0),
+        ),
+        case(
+            "fused_fourier/order1",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(3, 1), vec![0.4, 1.5, 2.7]),
+            |t, x| t.fused_fourier(x, 3, 1),
+        ),
+        case("fused_layer_norm/x", GradCheckConfig::loose(), generic23(), |t, x| {
+            let gamma = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![1.1, 0.9, 1.3]));
+            let beta = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![0.1, -0.2, 0.05]));
+            t.fused_layer_norm(x, gamma, beta, 1e-5)
+        }),
+        case(
+            "fused_layer_norm/gamma",
+            GradCheckConfig::loose(),
+            Tensor::from_vec(Shape::new(1, 3), vec![1.1, 0.9, 1.3]),
+            |t, x| {
+                let a = t.constant(generic23());
+                let beta = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![0.1, -0.2, 0.05]));
+                t.fused_layer_norm(a, x, beta, 1e-5)
+            },
+        ),
+        case("layer_norm/x", GradCheckConfig::loose(), generic23(), |t, x| {
+            let gamma = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![1.1, 0.9, 1.3]));
+            let beta = t.constant(Tensor::from_vec(Shape::new(1, 3), vec![0.1, -0.2, 0.05]));
+            t.layer_norm(x, gamma, beta, 1e-5)
+        }),
+        case("fused_gate/a", d(), generic23(), |t, x| {
+            let b = t.constant(positive23());
+            t.fused_gate(x, b)
+        }),
+        case("fused_gate/b", d(), generic23(), |t, x| {
+            let a = t.constant(positive23());
+            t.fused_gate(a, x)
+        }),
+        case("fused_gate/self", d(), generic23(), |t, x| t.fused_gate(x, x)),
+        // ---------------------------------------------------- composites
+        case(
+            "huber",
+            d(),
+            Tensor::from_vec(Shape::new(1, 4), vec![0.3, -0.6, 2.0, -1.8]),
+            |t, x| t.huber(x, 1.0),
+        ),
+        case("linear/x", d(), generic23(), |t, x| {
+            let w = t
+                .constant(Tensor::from_vec(Shape::new(3, 2), vec![0.5, -0.3, 0.8, 0.1, -0.6, 0.9]));
+            let b = t.constant(Tensor::from_vec(Shape::new(1, 2), vec![0.1, -0.1]));
+            t.linear(x, w, b)
+        }),
+    ];
+    cases.sort_by_key(|c| c.name);
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated_and_names_unique() {
+        let ops = registered_ops();
+        assert!(ops.len() >= 40, "expected broad op coverage, got {}", ops.len());
+        let mut names: Vec<_> = ops.iter().map(|c| c.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), ops.len(), "duplicate case names");
+    }
+}

@@ -1,0 +1,294 @@
+//! Physics-invariant suite for [`Chgnet`] models.
+//!
+//! Each check exercises an exact property the model must satisfy by
+//! construction (not by training):
+//!
+//! * **Force consistency** — with derivative heads, `F = −∂E/∂x`; each
+//!   force component is compared against a central difference of the
+//!   energy under a cartesian displacement of that atom.
+//! * **Stress consistency** — `σ = (1/V) ∂E/∂ε` in GPa; each component
+//!   is compared against a central difference of the energy under the
+//!   same `x' = x + x@ε`, `L' = L(I+ε)` strain convention the model's
+//!   differentiable strain input uses.
+//! * **Translation invariance** — rigidly shifting all atoms leaves the
+//!   energy unchanged and the forces unchanged.
+//! * **Rotation invariance** — rotating lattice + positions by a proper
+//!   rotation `R` leaves the energy unchanged and rotates forces:
+//!   `F' = F·R` (row-vector convention).
+//! * **Permutation equivariance** — reordering atoms permutes forces
+//!   and leaves the energy unchanged.
+//! * **NVE drift** — with conservative (derivative) forces, velocity
+//!   Verlet must bound total-energy drift relative to the kinetic scale.
+//!
+//! Checks return a [`CheckResult`] instead of panicking so the `verify`
+//! binary can aggregate them into a run report; tests call
+//! [`CheckResult::assert_ok`].
+
+use fc_core::{Chgnet, ModelConfig, OptLevel};
+use fc_crystal::{Element, Lattice, Structure, EV_PER_A3_TO_GPA};
+use fc_md::{run_md, Calculator, MdConfig};
+use fc_tensor::ParamStore;
+
+/// Outcome of one physics check.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// Check name (stable identifier, used as a report key).
+    pub name: String,
+    /// Worst normalized error observed.
+    pub max_err: f64,
+    /// Bound `max_err` must stay under.
+    pub tol: f64,
+    /// Where the worst error occurred.
+    pub detail: String,
+}
+
+impl CheckResult {
+    /// Did the check pass?
+    pub fn passed(&self) -> bool {
+        self.max_err.is_finite() && self.max_err <= self.tol
+    }
+
+    /// Panic with the check's detail if it failed.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.passed(),
+            "physics check '{}' failed: max_err={:.3e} > tol={:.3e} ({})",
+            self.name,
+            self.max_err,
+            self.tol,
+            self.detail
+        );
+    }
+}
+
+/// Model + store bundled for the physics checks.
+pub struct Harness {
+    /// The model under test.
+    pub model: Chgnet,
+    /// Its parameters.
+    pub store: ParamStore,
+}
+
+impl Harness {
+    /// A tiny randomly initialised model at `level`, deterministic in `seed`.
+    pub fn tiny(level: OptLevel, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(ModelConfig::tiny(level), &mut store, seed);
+        Harness { model, store }
+    }
+
+    fn calc(&self) -> Calculator<'_> {
+        Calculator::new(&self.model, &self.store)
+    }
+
+    fn energy(&self, s: &Structure) -> f64 {
+        self.calc().evaluate(s).energy
+    }
+}
+
+/// The seeded two-atom perovskite-ish cell every invariant runs on: low
+/// symmetry (off-center atoms) so nothing cancels by accident.
+pub fn probe_structure() -> Structure {
+    Structure::new(
+        Lattice::cubic(3.4),
+        vec![Element::new(3), Element::new(8)],
+        vec![[0.02, 0.0, 0.0], [0.5, 0.48, 0.51]],
+    )
+}
+
+fn norm_err(fd: f64, an: f64) -> f64 {
+    (fd - an).abs() / (1.0 + fd.abs().max(an.abs()))
+}
+
+/// Force consistency `F = −∂E/∂x` by central difference, component by
+/// component. Requires a derivative-head model (`uses_derivatives`).
+pub fn check_force_consistency(h: &Harness, s: &Structure, step: f64, tol: f64) -> CheckResult {
+    assert!(h.model.uses_derivatives(), "force consistency needs derivative heads (not Decoupled)");
+    let forces = h.calc().evaluate(s).forces;
+    let mut max_err = 0.0f64;
+    let mut detail = String::from("all components within tolerance");
+    for i in 0..s.n_atoms() {
+        for a in 0..3 {
+            let mut disp = vec![[0.0f64; 3]; s.n_atoms()];
+            disp[i][a] = step;
+            let mut sp = s.clone();
+            sp.displace_cart(&disp);
+            disp[i][a] = -step;
+            let mut sm = s.clone();
+            sm.displace_cart(&disp);
+            let fd = -(h.energy(&sp) - h.energy(&sm)) / (2.0 * step);
+            let err = norm_err(fd, forces[i][a]);
+            if err > max_err {
+                max_err = err;
+                detail = format!("atom {i} axis {a}: analytic={:+.6e} fd={fd:+.6e}", forces[i][a]);
+            }
+        }
+    }
+    CheckResult { name: "force_consistency".into(), max_err, tol, detail }
+}
+
+/// Stress consistency `σ_ab = (conv/V) ∂E/∂ε_ab` by central difference
+/// over the model's own strain convention.
+pub fn check_stress_consistency(h: &Harness, s: &Structure, step: f64, tol: f64) -> CheckResult {
+    assert!(h.model.uses_derivatives(), "stress consistency needs derivative heads");
+    let stress = h.calc().evaluate(s).stress;
+    let vol = s.lattice.volume();
+    let mut max_err = 0.0f64;
+    let mut detail = String::from("all components within tolerance");
+    for a in 0..3 {
+        for b in 0..3 {
+            let strained = |sign: f64| -> f64 {
+                let mut eps = [[0.0f64; 3]; 3];
+                eps[a][b] = sign * step;
+                let sp = Structure::new(
+                    s.lattice.strained(eps),
+                    s.species.clone(),
+                    s.frac_coords.clone(),
+                );
+                h.energy(&sp)
+            };
+            let de = (strained(1.0) - strained(-1.0)) / (2.0 * step);
+            let fd = de * EV_PER_A3_TO_GPA / vol;
+            let err = norm_err(fd, stress[a][b]);
+            if err > max_err {
+                max_err = err;
+                detail = format!("sigma[{a}][{b}]: analytic={:+.6e} fd={fd:+.6e}", stress[a][b]);
+            }
+        }
+    }
+    CheckResult { name: "stress_consistency".into(), max_err, tol, detail }
+}
+
+/// Rigid translation leaves energy and forces unchanged.
+pub fn check_translation_invariance(h: &Harness, s: &Structure, tol: f64) -> CheckResult {
+    let base = h.calc().evaluate(s);
+    let shift = [0.31, -0.17, 0.23];
+    let mut st = s.clone();
+    st.displace_cart(&vec![shift; s.n_atoms()]);
+    let moved = h.calc().evaluate(&st);
+
+    let mut max_err = (moved.energy - base.energy).abs();
+    let mut detail = format!("energy {:+.6e} -> {:+.6e}", base.energy, moved.energy);
+    for i in 0..s.n_atoms() {
+        for a in 0..3 {
+            let err = (moved.forces[i][a] - base.forces[i][a]).abs();
+            if err > max_err {
+                max_err = err;
+                detail = format!(
+                    "force atom {i} axis {a}: {:+.6e} -> {:+.6e}",
+                    base.forces[i][a], moved.forces[i][a]
+                );
+            }
+        }
+    }
+    CheckResult { name: "translation_invariance".into(), max_err, tol, detail }
+}
+
+/// Proper rotation `R` leaves energy unchanged and rotates forces as
+/// `F' = F·R` (rows are vectors).
+pub fn check_rotation_invariance(h: &Harness, s: &Structure, tol: f64) -> CheckResult {
+    let (sin, cos) = 0.37f64.sin_cos();
+    // Rotation about z by an arbitrary (non-symmetry) angle.
+    let r = [[cos, sin, 0.0], [-sin, cos, 0.0], [0.0, 0.0, 1.0]];
+    let mut lat = [[0.0f64; 3]; 3];
+    for (i, lrow) in lat.iter_mut().enumerate() {
+        for (j, l) in lrow.iter_mut().enumerate() {
+            *l = (0..3).map(|k| s.lattice.m[i][k] * r[k][j]).sum();
+        }
+    }
+    let rotated = Structure::new(
+        Lattice::new(lat[0], lat[1], lat[2]),
+        s.species.clone(),
+        s.frac_coords.clone(),
+    );
+
+    let base = h.calc().evaluate(s);
+    let rot = h.calc().evaluate(&rotated);
+
+    let mut max_err = (rot.energy - base.energy).abs();
+    let mut detail = format!("energy {:+.6e} -> {:+.6e}", base.energy, rot.energy);
+    for (i, rf) in rot.forces.iter().enumerate() {
+        for (j, &rfj) in rf.iter().enumerate() {
+            let expect: f64 = (0..3).map(|k| base.forces[i][k] * r[k][j]).sum();
+            let err = (rfj - expect).abs();
+            if err > max_err {
+                max_err = err;
+                detail =
+                    format!("force atom {i} axis {j}: rotated={rfj:+.6e} expected={expect:+.6e}");
+            }
+        }
+    }
+    CheckResult { name: "rotation_invariance".into(), max_err, tol, detail }
+}
+
+/// Reversing atom order permutes forces and leaves energy unchanged.
+pub fn check_permutation_equivariance(h: &Harness, s: &Structure, tol: f64) -> CheckResult {
+    let n = s.n_atoms();
+    let perm: Vec<usize> = (0..n).rev().collect();
+    let species = perm.iter().map(|&i| s.species[i]).collect();
+    let coords = perm.iter().map(|&i| s.frac_coords[i]).collect();
+    let permuted = Structure::new(s.lattice, species, coords);
+
+    let base = h.calc().evaluate(s);
+    let permed = h.calc().evaluate(&permuted);
+
+    let mut max_err = (permed.energy - base.energy).abs();
+    let mut detail = format!("energy {:+.6e} -> {:+.6e}", base.energy, permed.energy);
+    for (new_i, &old_i) in perm.iter().enumerate() {
+        for a in 0..3 {
+            let err = (permed.forces[new_i][a] - base.forces[old_i][a]).abs();
+            if err > max_err {
+                max_err = err;
+                detail = format!(
+                    "force (orig atom {old_i}, axis {a}): {:+.6e} vs {:+.6e}",
+                    base.forces[old_i][a], permed.forces[new_i][a]
+                );
+            }
+        }
+    }
+    CheckResult { name: "permutation_equivariance".into(), max_err, tol, detail }
+}
+
+/// NVE total-energy drift with the model's conservative forces, bounded
+/// relative to the initial kinetic-energy scale (the same criterion the
+/// md crate applies to the analytic oracle).
+pub fn check_nve_drift(h: &Harness, s: &Structure, steps: usize, rel_tol: f64) -> CheckResult {
+    assert!(h.model.uses_derivatives(), "NVE needs conservative (derivative) forces");
+    let calc = h.calc();
+    let traj = run_md(
+        &calc,
+        s,
+        &MdConfig { steps, dt_fs: 0.5, init_t_kelvin: 300.0, seed: 11, ..Default::default() },
+    );
+    let e0 = traj.total_energy(0);
+    let e_last = traj.total_energy(traj.frames.len() - 1);
+    let ke_scale = traj.frames[0].kinetic.abs().max(1e-3);
+    let drift = (e_last - e0).abs() / ke_scale;
+    CheckResult {
+        name: "nve_energy_drift".into(),
+        max_err: drift,
+        tol: rel_tol,
+        detail: format!(
+            "E_tot {e0:+.6e} -> {e_last:+.6e} over {steps} steps (KE scale {ke_scale:.3e})"
+        ),
+    }
+}
+
+/// Run the full invariant suite on a tiny model at `level`. Decoupled
+/// heads skip the conservativity checks (their F/σ are direct
+/// predictions, not energy derivatives — that is the point of the
+/// optimization) but must still satisfy the symmetry invariants.
+pub fn run_suite(level: OptLevel, seed: u64) -> Vec<CheckResult> {
+    let h = Harness::tiny(level, seed);
+    let s = probe_structure();
+    let mut out = Vec::new();
+    if h.model.uses_derivatives() {
+        out.push(check_force_consistency(&h, &s, 1e-3, 5e-3));
+        out.push(check_stress_consistency(&h, &s, 1e-3, 5e-3));
+        out.push(check_nve_drift(&h, &s, 80, 0.25));
+    }
+    out.push(check_translation_invariance(&h, &s, 2e-3));
+    out.push(check_rotation_invariance(&h, &s, 5e-3));
+    out.push(check_permutation_equivariance(&h, &s, 2e-3));
+    out
+}

@@ -1,0 +1,154 @@
+//! Aggregation of harness outcomes into a telemetry [`RunReport`].
+//!
+//! Every check — gradcheck cases, physics invariants, equivalence pairs,
+//! the golden comparison — reduces to one [`SuiteRow`]; the `verify`
+//! binary collects them, prints a console table, and emits the full
+//! structured report (`reports/VERIFY.json`-style) for diffing across
+//! commits.
+
+use crate::golden::GoldenReport;
+use crate::gradcheck::GradReport;
+use crate::physics::CheckResult;
+use fc_telemetry::{RunReport, Value};
+use std::collections::BTreeMap;
+
+/// One verified property, normalized across the suites.
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// Which suite produced it (`gradcheck`, `physics`, ...).
+    pub suite: String,
+    /// Check name within the suite.
+    pub check: String,
+    /// Did it pass?
+    pub passed: bool,
+    /// Worst observed error (suite-specific normalization).
+    pub max_err: f64,
+    /// The bound it was held to.
+    pub tol: f64,
+}
+
+/// Collected outcome of a harness run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifySummary {
+    /// All rows, in execution order.
+    pub rows: Vec<SuiteRow>,
+}
+
+impl VerifySummary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a physics/equivalence-style check.
+    pub fn add_check(&mut self, suite: &str, c: &CheckResult) {
+        self.rows.push(SuiteRow {
+            suite: suite.to_string(),
+            check: c.name.clone(),
+            passed: c.passed(),
+            max_err: c.max_err,
+            tol: c.tol,
+        });
+    }
+
+    /// Record a gradcheck outcome.
+    pub fn add_grad(&mut self, suite: &str, r: &GradReport) {
+        self.rows.push(SuiteRow {
+            suite: suite.to_string(),
+            check: r.label.clone(),
+            passed: r.is_ok(),
+            max_err: f64::from(r.max_error),
+            tol: f64::from(r.config.abs_tol),
+        });
+    }
+
+    /// Record a golden comparison.
+    pub fn add_golden(&mut self, r: &GoldenReport) {
+        let worst = r.mismatches.iter().map(|m| m.rel_err).fold(0.0f64, |a, b| a.max(b));
+        self.rows.push(SuiteRow {
+            suite: "golden".to_string(),
+            check: format!("golden_fixture ({} keys)", r.compared),
+            passed: r.is_ok(),
+            max_err: worst,
+            tol: r.rel_tol,
+        });
+    }
+
+    /// Did every recorded check pass?
+    pub fn all_passed(&self) -> bool {
+        self.rows.iter().all(|r| r.passed)
+    }
+
+    /// Number of failing rows.
+    pub fn failed(&self) -> usize {
+        self.rows.iter().filter(|r| !r.passed).count()
+    }
+
+    /// Plain-text table for console output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "suite        check                                    status    max_err    tol\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:<40} {:<8} {:>10.3e} {:>8.1e}\n",
+                r.suite,
+                r.check,
+                if r.passed { "ok" } else { "FAIL" },
+                r.max_err,
+                r.tol
+            ));
+        }
+        out.push_str(&format!("{} checks, {} failed\n", self.rows.len(), self.failed()));
+        out
+    }
+
+    /// Emit the structured report: one epoch-table row per check, plus
+    /// aggregate meta. Captures the current telemetry snapshot.
+    pub fn to_run_report(&self, seed: u64) -> RunReport {
+        let mut rep = RunReport::with_snapshot("verify", seed, fc_telemetry::snapshot());
+        rep.set_meta("checks_total", self.rows.len());
+        rep.set_meta("checks_failed", self.failed());
+        rep.set_meta("all_passed", self.all_passed());
+        for r in &self.rows {
+            let mut row: BTreeMap<String, Value> = BTreeMap::new();
+            row.insert("suite".into(), r.suite.as_str().into());
+            row.insert("check".into(), r.check.as_str().into());
+            row.insert("passed".into(), r.passed.into());
+            row.insert("max_err".into(), r.max_err.into());
+            row.insert("tol".into(), r.tol.into());
+            rep.push_epoch(row);
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_aggregates_and_reports() {
+        let mut s = VerifySummary::new();
+        s.add_check(
+            "physics",
+            &CheckResult {
+                name: "force_consistency".into(),
+                max_err: 1e-4,
+                tol: 5e-3,
+                detail: String::new(),
+            },
+        );
+        s.add_check(
+            "physics",
+            &CheckResult { name: "bad".into(), max_err: 1.0, tol: 1e-3, detail: String::new() },
+        );
+        assert!(!s.all_passed());
+        assert_eq!(s.failed(), 1);
+        let rep = s.to_run_report(7);
+        assert_eq!(rep.epochs.len(), 2);
+        assert_eq!(rep.meta.get("checks_failed"), Some(&Value::U64(1)));
+        let table = s.render_table();
+        assert!(table.contains("FAIL") && table.contains("force_consistency"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Equivalence suite: fused vs unfused, batched vs serial, 1 vs N
+//! devices, and bitwise determinism of the simulated all-reduce.
+
+use fc_verify::equivalence::{
+    check_allreduce_determinism, check_batched_vs_serial_model, check_cluster_determinism,
+    check_cluster_one_vs_n, check_fused_basis_values, check_fused_gate, check_fused_layer_norm,
+    check_fusion_vs_parallel_model, run_suite,
+};
+
+#[test]
+fn fused_kernels_match_unfused_chains() {
+    check_fused_basis_values(1e-3).assert_ok();
+    check_fused_layer_norm(1e-4).assert_ok();
+    check_fused_gate(1e-5).assert_ok();
+}
+
+#[test]
+fn batched_basis_matches_serial_basis_through_model() {
+    check_batched_vs_serial_model(3, 1e-3).assert_ok();
+}
+
+#[test]
+fn fusion_level_tracks_unfused_level_through_derivatives() {
+    check_fusion_vs_parallel_model(3, 5e-2).assert_ok();
+}
+
+#[test]
+fn multi_device_step_tracks_single_device() {
+    for check in check_cluster_one_vs_n(4) {
+        check.assert_ok();
+    }
+}
+
+#[test]
+fn cluster_step_is_bitwise_deterministic() {
+    check_cluster_determinism(4).assert_ok();
+    check_cluster_determinism(2).assert_ok();
+}
+
+#[test]
+fn allreduce_is_bitwise_deterministic() {
+    check_allreduce_determinism(4, 257).assert_ok();
+    check_allreduce_determinism(3, 64).assert_ok();
+}
+
+#[test]
+fn full_suite_passes() {
+    for check in run_suite(3) {
+        check.assert_ok();
+    }
+}

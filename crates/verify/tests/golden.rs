@@ -1,0 +1,50 @@
+//! Golden regression fixtures: the committed checkpoint + expected
+//! values must reproduce, and the comparison must have discriminating
+//! power (perturbing one weight fails it).
+
+use fc_verify::golden::{
+    check_golden, compare, compute_observables, load_committed_params, load_committed_values,
+    GOLDEN_REL_TOL,
+};
+
+#[test]
+fn committed_fixture_reproduces() {
+    let report = check_golden().expect("fixture files present");
+    report.assert_ok();
+    assert!(report.compared >= 15, "fixture too small: {} keys", report.compared);
+}
+
+#[test]
+fn perturbing_one_weight_fails_the_golden_check() {
+    let mut params = load_committed_params().expect("fixture checkpoint");
+    let expected = load_committed_values().expect("fixture values");
+
+    // Flip one scalar of a weight every forward pass flows through
+    // (the bond-feature packing linear). The first parameter overall
+    // would be too weak a probe: atom-table rows for elements absent
+    // from the fixture are dead weights.
+    let (id, _) = params
+        .iter()
+        .find(|(_, e)| e.name == "embedding.bond_pack.w")
+        .expect("bond_pack weight exists");
+    params.entry_mut(id).value.data_mut()[0] += 0.05;
+
+    let actual = compute_observables(&params);
+    let report = compare(&expected, &actual, GOLDEN_REL_TOL);
+    assert!(
+        !report.is_ok(),
+        "golden check has no discriminating power: weight perturbation went unnoticed"
+    );
+}
+
+#[test]
+fn golden_values_are_finite_and_complete() {
+    let expected = load_committed_values().expect("fixture values");
+    assert!(expected.entries.contains_key("loss/total"));
+    assert!(expected.entries.keys().any(|k| k.starts_with("energy/")));
+    assert!(expected.entries.keys().any(|k| k.starts_with("force/")));
+    assert!(expected.entries.keys().any(|k| k.starts_with("stress/")));
+    for (k, v) in &expected.entries {
+        assert!(v.is_finite(), "{k} is not finite");
+    }
+}

@@ -1,0 +1,34 @@
+//! Gradcheck sweep over every registered tape op.
+
+use fc_verify::gradcheck::gradcheck_jacobian;
+use fc_verify::ops::registered_ops;
+
+#[test]
+fn every_registered_op_passes_gradcheck() {
+    for case in registered_ops() {
+        let rep = gradcheck_jacobian(case.name, case.cfg, |t, x| (case.build)(t, x), &case.input);
+        rep.assert_ok();
+        assert!(rep.checked > 0, "{}: empty Jacobian", case.name);
+    }
+}
+
+#[test]
+fn registry_covers_fused_and_structural_ops() {
+    // Guard against the registry silently shrinking: the op families the
+    // model's force/stress path depends on must stay represented.
+    let names: Vec<&str> = registered_ops().iter().map(|c| c.name).collect();
+    for needle in [
+        "fused_srbf/order0",
+        "fused_srbf/order1",
+        "fused_fourier/order0",
+        "fused_layer_norm/x",
+        "fused_gate/a",
+        "block_diag_matmul/a",
+        "segment_sum",
+        "gather",
+        "matmul/rhs_const",
+        "huber",
+    ] {
+        assert!(names.contains(&needle), "registry lost case '{needle}'");
+    }
+}

@@ -1,0 +1,68 @@
+//! Physics-invariant suite against tiny `Chgnet` models.
+//!
+//! Conservativity checks (force/stress consistency, NVE drift) run on
+//! the derivative-head levels; the symmetry invariants must hold at
+//! every level, including `Decoupled` whose direct heads are built from
+//! invariant features.
+
+use fc_core::OptLevel;
+use fc_verify::physics::{
+    check_force_consistency, check_nve_drift, check_permutation_equivariance,
+    check_rotation_invariance, check_stress_consistency, check_translation_invariance,
+    probe_structure, run_suite, Harness,
+};
+
+#[test]
+fn forces_are_energy_gradients() {
+    for level in [OptLevel::Reference, OptLevel::ParallelBasis, OptLevel::Fusion] {
+        let h = Harness::tiny(level, 3);
+        check_force_consistency(&h, &probe_structure(), 1e-3, 5e-3).assert_ok();
+    }
+}
+
+#[test]
+fn stress_matches_strain_derivative() {
+    for level in [OptLevel::ParallelBasis, OptLevel::Fusion] {
+        let h = Harness::tiny(level, 3);
+        check_stress_consistency(&h, &probe_structure(), 1e-3, 5e-3).assert_ok();
+    }
+}
+
+#[test]
+fn energy_is_translation_invariant() {
+    for level in OptLevel::LADDER {
+        let h = Harness::tiny(level, 5);
+        check_translation_invariance(&h, &probe_structure(), 2e-3).assert_ok();
+    }
+}
+
+#[test]
+fn energy_is_rotation_invariant_and_forces_equivariant() {
+    for level in OptLevel::LADDER {
+        let h = Harness::tiny(level, 5);
+        check_rotation_invariance(&h, &probe_structure(), 5e-3).assert_ok();
+    }
+}
+
+#[test]
+fn forces_are_permutation_equivariant() {
+    for level in OptLevel::LADDER {
+        let h = Harness::tiny(level, 7);
+        check_permutation_equivariance(&h, &probe_structure(), 2e-3).assert_ok();
+    }
+}
+
+#[test]
+fn nve_drift_is_bounded_with_conservative_forces() {
+    let h = Harness::tiny(OptLevel::Fusion, 3);
+    check_nve_drift(&h, &probe_structure(), 80, 0.25).assert_ok();
+}
+
+#[test]
+fn full_suite_passes_at_every_level() {
+    for level in OptLevel::LADDER {
+        for check in run_suite(level, 11) {
+            check.assert_ok();
+        }
+    }
+}

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints, and the test suite.
+# The full local gate: formatting, lints, the test suite, and the
+# cross-layer correctness harness (gradcheck registry, physics
+# invariants, equivalence suite, golden fixtures — see DESIGN.md §9).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,6 +14,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== verify harness =="
+cargo run --release -p fc_verify --bin verify -q
 
 echo
 echo "all checks passed"

@@ -71,11 +71,11 @@ proptest! {
         let f2 = t2.value(p2.forces);
         for atom in 0..f1.rows() {
             let rotated = [-f1.at(atom, 1), f1.at(atom, 0), f1.at(atom, 2)];
-            for k in 0..3 {
-                let diff = (rotated[k] - f2.at(atom, k)).abs();
+            for (k, &rk) in rotated.iter().enumerate() {
+                let diff = (rk - f2.at(atom, k)).abs();
                 prop_assert!(
-                    diff < 2e-3 * (1.0 + rotated[k].abs()),
-                    "atom {atom} axis {k}: {} vs {}", rotated[k], f2.at(atom, k)
+                    diff < 2e-3 * (1.0 + rk.abs()),
+                    "atom {atom} axis {k}: {} vs {}", rk, f2.at(atom, k)
                 );
             }
         }
