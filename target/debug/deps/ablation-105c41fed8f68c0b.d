@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-105c41fed8f68c0b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-105c41fed8f68c0b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a5505e5ac81fd8e7.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a5505e5ac81fd8e7: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autodiff_properties-09a5e6ce487bba88.d: crates/tensor/tests/autodiff_properties.rs
+
+/root/repo/target/debug/deps/autodiff_properties-09a5e6ce487bba88: crates/tensor/tests/autodiff_properties.rs
+
+crates/tensor/tests/autodiff_properties.rs:

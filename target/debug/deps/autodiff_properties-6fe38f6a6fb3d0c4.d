@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autodiff_properties-6fe38f6a6fb3d0c4.d: crates/tensor/tests/autodiff_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautodiff_properties-6fe38f6a6fb3d0c4.rmeta: crates/tensor/tests/autodiff_properties.rs Cargo.toml
+
+crates/tensor/tests/autodiff_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autodiff_properties-7bdd1afd42d1bf94.d: crates/tensor/tests/autodiff_properties.rs
+
+/root/repo/target/debug/deps/autodiff_properties-7bdd1afd42d1bf94: crates/tensor/tests/autodiff_properties.rs
+
+crates/tensor/tests/autodiff_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/basis-9eed125ca08a5fda.d: crates/bench/benches/basis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbasis-9eed125ca08a5fda.rmeta: crates/bench/benches/basis.rs Cargo.toml
+
+crates/bench/benches/basis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-68bd24212b666ac4.d: /tmp/fcstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-68bd24212b666ac4.rlib: /tmp/fcstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-68bd24212b666ac4.rmeta: /tmp/fcstubs/criterion/src/lib.rs
+
+/tmp/fcstubs/criterion/src/lib.rs:

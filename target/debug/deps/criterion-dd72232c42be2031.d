@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-dd72232c42be2031.d: /tmp/fcstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-dd72232c42be2031.rmeta: /tmp/fcstubs/criterion/src/lib.rs
+
+/tmp/fcstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-07bb0e1305bca818.d: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-07bb0e1305bca818.rmeta: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/tmp/fcstubs/crossbeam/src/lib.rs:

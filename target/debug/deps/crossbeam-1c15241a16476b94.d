@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-1c15241a16476b94.d: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1c15241a16476b94.rlib: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1c15241a16476b94.rmeta: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/tmp/fcstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d71ddc07502898c5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d71ddc07502898c5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

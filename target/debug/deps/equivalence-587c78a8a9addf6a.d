@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-587c78a8a9addf6a.d: crates/verify/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-587c78a8a9addf6a: crates/verify/tests/equivalence.rs
+
+crates/verify/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-660377bf0624f2cb.d: crates/verify/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-660377bf0624f2cb: crates/verify/tests/equivalence.rs
+
+crates/verify/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-e9da2ece72a9f78a.d: crates/verify/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-e9da2ece72a9f78a.rmeta: crates/verify/tests/equivalence.rs Cargo.toml
+
+crates/verify/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

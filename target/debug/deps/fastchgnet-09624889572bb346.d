@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastchgnet-09624889572bb346.d: src/bin/fastchgnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastchgnet-09624889572bb346.rmeta: src/bin/fastchgnet.rs Cargo.toml
+
+src/bin/fastchgnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

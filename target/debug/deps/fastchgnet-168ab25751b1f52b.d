@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastchgnet-168ab25751b1f52b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastchgnet-168ab25751b1f52b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastchgnet-168ab25751b1f52b.rmeta: src/lib.rs
+
+src/lib.rs:

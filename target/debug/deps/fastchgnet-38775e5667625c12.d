@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastchgnet-38775e5667625c12.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastchgnet-38775e5667625c12.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastchgnet-437dd3ad055a19f3.d: src/bin/fastchgnet.rs
+
+/root/repo/target/debug/deps/fastchgnet-437dd3ad055a19f3: src/bin/fastchgnet.rs
+
+src/bin/fastchgnet.rs:

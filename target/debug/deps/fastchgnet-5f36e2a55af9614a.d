@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastchgnet-5f36e2a55af9614a.d: src/bin/fastchgnet.rs
+
+/root/repo/target/debug/deps/fastchgnet-5f36e2a55af9614a: src/bin/fastchgnet.rs
+
+src/bin/fastchgnet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastchgnet-727835068ec067d3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastchgnet-727835068ec067d3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastchgnet-727835068ec067d3.rmeta: src/lib.rs
+
+src/lib.rs:

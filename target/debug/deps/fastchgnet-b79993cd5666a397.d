@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastchgnet-b79993cd5666a397.d: src/bin/fastchgnet.rs
+
+/root/repo/target/debug/deps/fastchgnet-b79993cd5666a397: src/bin/fastchgnet.rs
+
+src/bin/fastchgnet.rs:

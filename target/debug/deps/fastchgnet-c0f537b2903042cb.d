@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastchgnet-c0f537b2903042cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/fastchgnet-c0f537b2903042cb: src/lib.rs
+
+src/lib.rs:

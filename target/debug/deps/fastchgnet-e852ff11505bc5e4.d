@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastchgnet-e852ff11505bc5e4.d: src/bin/fastchgnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastchgnet-e852ff11505bc5e4.rmeta: src/bin/fastchgnet.rs Cargo.toml
+
+src/bin/fastchgnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fc_bench-22b0e67a2d958a70.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_bench-22b0e67a2d958a70.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

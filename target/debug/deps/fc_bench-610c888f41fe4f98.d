@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fc_bench-610c888f41fe4f98.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-610c888f41fe4f98.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-610c888f41fe4f98.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

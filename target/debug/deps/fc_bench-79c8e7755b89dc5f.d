@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fc_bench-79c8e7755b89dc5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fc_bench-79c8e7755b89dc5f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fc_bench-9e9207161cb5091c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-9e9207161cb5091c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfc_bench-9e9207161cb5091c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

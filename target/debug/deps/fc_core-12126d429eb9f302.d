@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fc_core-12126d429eb9f302.d: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+/root/repo/target/debug/deps/fc_core-12126d429eb9f302: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/atom_ref.rs:
+crates/core/src/basis.rs:
+crates/core/src/config.rs:
+crates/core/src/embedding.rs:
+crates/core/src/heads.rs:
+crates/core/src/interaction.rs:
+crates/core/src/model.rs:
+crates/core/src/nn.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fc_core-1426df7bd2b134ab.d: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_core-1426df7bd2b134ab.rmeta: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/atom_ref.rs:
+crates/core/src/basis.rs:
+crates/core/src/config.rs:
+crates/core/src/embedding.rs:
+crates/core/src/heads.rs:
+crates/core/src/interaction.rs:
+crates/core/src/model.rs:
+crates/core/src/nn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

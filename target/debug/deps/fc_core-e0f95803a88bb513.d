@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fc_core-e0f95803a88bb513.d: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+/root/repo/target/debug/deps/libfc_core-e0f95803a88bb513.rlib: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+/root/repo/target/debug/deps/libfc_core-e0f95803a88bb513.rmeta: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/atom_ref.rs:
+crates/core/src/basis.rs:
+crates/core/src/config.rs:
+crates/core/src/embedding.rs:
+crates/core/src/heads.rs:
+crates/core/src/interaction.rs:
+crates/core/src/model.rs:
+crates/core/src/nn.rs:

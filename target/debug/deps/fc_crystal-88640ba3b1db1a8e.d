@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fc_crystal-88640ba3b1db1a8e.d: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_crystal-88640ba3b1db1a8e.rmeta: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs Cargo.toml
+
+crates/crystal/src/lib.rs:
+crates/crystal/src/batch.rs:
+crates/crystal/src/dataset.rs:
+crates/crystal/src/element.rs:
+crates/crystal/src/graph.rs:
+crates/crystal/src/io.rs:
+crates/crystal/src/known.rs:
+crates/crystal/src/lattice.rs:
+crates/crystal/src/neighbor.rs:
+crates/crystal/src/oracle.rs:
+crates/crystal/src/stats.rs:
+crates/crystal/src/structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fc_crystal-f0f691b9db4941d6.d: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+/root/repo/target/debug/deps/libfc_crystal-f0f691b9db4941d6.rlib: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+/root/repo/target/debug/deps/libfc_crystal-f0f691b9db4941d6.rmeta: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+crates/crystal/src/lib.rs:
+crates/crystal/src/batch.rs:
+crates/crystal/src/dataset.rs:
+crates/crystal/src/element.rs:
+crates/crystal/src/graph.rs:
+crates/crystal/src/io.rs:
+crates/crystal/src/known.rs:
+crates/crystal/src/lattice.rs:
+crates/crystal/src/neighbor.rs:
+crates/crystal/src/oracle.rs:
+crates/crystal/src/stats.rs:
+crates/crystal/src/structure.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fc_md-2e64f5f4d91154ce.d: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_md-2e64f5f4d91154ce.rmeta: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs Cargo.toml
+
+crates/md/src/lib.rs:
+crates/md/src/calculator.rs:
+crates/md/src/field.rs:
+crates/md/src/integrator.rs:
+crates/md/src/relax.rs:
+crates/md/src/simulation.rs:
+crates/md/src/thermo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

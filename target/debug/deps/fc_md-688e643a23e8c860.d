@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fc_md-688e643a23e8c860.d: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+/root/repo/target/debug/deps/fc_md-688e643a23e8c860: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+crates/md/src/lib.rs:
+crates/md/src/calculator.rs:
+crates/md/src/field.rs:
+crates/md/src/integrator.rs:
+crates/md/src/relax.rs:
+crates/md/src/simulation.rs:
+crates/md/src/thermo.rs:

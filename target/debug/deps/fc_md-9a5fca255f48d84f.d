@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fc_md-9a5fca255f48d84f.d: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+/root/repo/target/debug/deps/libfc_md-9a5fca255f48d84f.rlib: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+/root/repo/target/debug/deps/libfc_md-9a5fca255f48d84f.rmeta: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+crates/md/src/lib.rs:
+crates/md/src/calculator.rs:
+crates/md/src/field.rs:
+crates/md/src/integrator.rs:
+crates/md/src/relax.rs:
+crates/md/src/simulation.rs:
+crates/md/src/thermo.rs:

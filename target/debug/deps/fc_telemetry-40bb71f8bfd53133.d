@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fc_telemetry-40bb71f8bfd53133.d: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_telemetry-40bb71f8bfd53133.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bridge.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fc_telemetry-686544fdfde7fef4.d: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/fc_telemetry-686544fdfde7fef4: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bridge.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

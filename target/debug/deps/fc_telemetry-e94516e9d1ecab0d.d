@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fc_telemetry-e94516e9d1ecab0d.d: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libfc_telemetry-e94516e9d1ecab0d.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libfc_telemetry-e94516e9d1ecab0d.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bridge.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

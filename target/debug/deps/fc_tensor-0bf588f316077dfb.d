@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/fc_tensor-0bf588f316077dfb.d: crates/tensor/src/lib.rs crates/tensor/src/backward.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/elementwise.rs crates/tensor/src/kernels/fused.rs crates/tensor/src/kernels/gather.rs crates/tensor/src/kernels/matmul.rs crates/tensor/src/kernels/reduce.rs crates/tensor/src/kernels/segment.rs crates/tensor/src/op.rs crates/tensor/src/param.rs crates/tensor/src/profiler.rs crates/tensor/src/shape.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_tensor-0bf588f316077dfb.rmeta: crates/tensor/src/lib.rs crates/tensor/src/backward.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/elementwise.rs crates/tensor/src/kernels/fused.rs crates/tensor/src/kernels/gather.rs crates/tensor/src/kernels/matmul.rs crates/tensor/src/kernels/reduce.rs crates/tensor/src/kernels/segment.rs crates/tensor/src/op.rs crates/tensor/src/param.rs crates/tensor/src/profiler.rs crates/tensor/src/shape.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backward.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/elementwise.rs:
+crates/tensor/src/kernels/fused.rs:
+crates/tensor/src/kernels/gather.rs:
+crates/tensor/src/kernels/matmul.rs:
+crates/tensor/src/kernels/reduce.rs:
+crates/tensor/src/kernels/segment.rs:
+crates/tensor/src/op.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/profiler.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fc_tensor-1e0c1aeb59776f25.d: crates/tensor/src/lib.rs crates/tensor/src/backward.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/elementwise.rs crates/tensor/src/kernels/fused.rs crates/tensor/src/kernels/gather.rs crates/tensor/src/kernels/matmul.rs crates/tensor/src/kernels/reduce.rs crates/tensor/src/kernels/segment.rs crates/tensor/src/op.rs crates/tensor/src/param.rs crates/tensor/src/profiler.rs crates/tensor/src/shape.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libfc_tensor-1e0c1aeb59776f25.rlib: crates/tensor/src/lib.rs crates/tensor/src/backward.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/elementwise.rs crates/tensor/src/kernels/fused.rs crates/tensor/src/kernels/gather.rs crates/tensor/src/kernels/matmul.rs crates/tensor/src/kernels/reduce.rs crates/tensor/src/kernels/segment.rs crates/tensor/src/op.rs crates/tensor/src/param.rs crates/tensor/src/profiler.rs crates/tensor/src/shape.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libfc_tensor-1e0c1aeb59776f25.rmeta: crates/tensor/src/lib.rs crates/tensor/src/backward.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/elementwise.rs crates/tensor/src/kernels/fused.rs crates/tensor/src/kernels/gather.rs crates/tensor/src/kernels/matmul.rs crates/tensor/src/kernels/reduce.rs crates/tensor/src/kernels/segment.rs crates/tensor/src/op.rs crates/tensor/src/param.rs crates/tensor/src/profiler.rs crates/tensor/src/shape.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/backward.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/elementwise.rs:
+crates/tensor/src/kernels/fused.rs:
+crates/tensor/src/kernels/gather.rs:
+crates/tensor/src/kernels/matmul.rs:
+crates/tensor/src/kernels/reduce.rs:
+crates/tensor/src/kernels/segment.rs:
+crates/tensor/src/op.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/profiler.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fc_train-1134fe54e926a6e7.d: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_train-1134fe54e926a6e7.rmeta: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs Cargo.toml
+
+crates/train/src/lib.rs:
+crates/train/src/allreduce.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cluster.rs:
+crates/train/src/dataloader.rs:
+crates/train/src/loss.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/quant.rs:
+crates/train/src/sampler.rs:
+crates/train/src/scaling.rs:
+crates/train/src/sched.rs:
+crates/train/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fc_train-c8c9a7a5357d6123.d: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/fc_train-c8c9a7a5357d6123: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/allreduce.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cluster.rs:
+crates/train/src/dataloader.rs:
+crates/train/src/loss.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/quant.rs:
+crates/train/src/sampler.rs:
+crates/train/src/scaling.rs:
+crates/train/src/sched.rs:
+crates/train/src/trainer.rs:

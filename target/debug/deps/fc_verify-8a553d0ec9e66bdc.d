@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fc_verify-8a553d0ec9e66bdc.d: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+/root/repo/target/debug/deps/fc_verify-8a553d0ec9e66bdc: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/equivalence.rs:
+crates/verify/src/golden.rs:
+crates/verify/src/gradcheck.rs:
+crates/verify/src/ops.rs:
+crates/verify/src/physics.rs:
+crates/verify/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/verify

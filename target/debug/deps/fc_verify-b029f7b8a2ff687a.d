@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fc_verify-b029f7b8a2ff687a.d: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+/root/repo/target/debug/deps/libfc_verify-b029f7b8a2ff687a.rlib: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+/root/repo/target/debug/deps/libfc_verify-b029f7b8a2ff687a.rmeta: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/equivalence.rs:
+crates/verify/src/golden.rs:
+crates/verify/src/gradcheck.rs:
+crates/verify/src/ops.rs:
+crates/verify/src/physics.rs:
+crates/verify/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/verify

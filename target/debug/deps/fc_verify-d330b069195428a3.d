@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fc_verify-d330b069195428a3.d: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfc_verify-d330b069195428a3.rmeta: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/equivalence.rs:
+crates/verify/src/golden.rs:
+crates/verify/src/gradcheck.rs:
+crates/verify/src/ops.rs:
+crates/verify/src/physics.rs:
+crates/verify/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/verify
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-69a2d7c55d535472.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-69a2d7c55d535472: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-9707768ab1eebb73.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-9707768ab1eebb73: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2d76d625d61b83bf.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2d76d625d61b83bf: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3ff9f0fff86f2c48.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3ff9f0fff86f2c48: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-01b323f81f38d4a8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-01b323f81f38d4a8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5063865fbeb4b777.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5063865fbeb4b777: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

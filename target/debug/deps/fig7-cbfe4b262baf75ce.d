@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cbfe4b262baf75ce.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cbfe4b262baf75ce: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

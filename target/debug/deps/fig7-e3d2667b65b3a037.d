@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e3d2667b65b3a037.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e3d2667b65b3a037: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

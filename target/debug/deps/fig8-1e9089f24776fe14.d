@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-1e9089f24776fe14.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-1e9089f24776fe14: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b4b698ca04e91054.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b4b698ca04e91054: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

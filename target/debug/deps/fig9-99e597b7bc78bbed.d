@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-99e597b7bc78bbed.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-99e597b7bc78bbed: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-9fe3572b5f43abdf.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-9fe3572b5f43abdf: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-6251387a858f4719.d: crates/verify/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-6251387a858f4719.rmeta: crates/verify/tests/golden.rs Cargo.toml
+
+crates/verify/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

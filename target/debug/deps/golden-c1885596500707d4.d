@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-c1885596500707d4.d: crates/verify/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-c1885596500707d4: crates/verify/tests/golden.rs
+
+crates/verify/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-cbb1d2746d029e1d.d: crates/verify/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-cbb1d2746d029e1d: crates/verify/tests/golden.rs
+
+crates/verify/tests/golden.rs:

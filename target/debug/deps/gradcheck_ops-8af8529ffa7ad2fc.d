@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradcheck_ops-8af8529ffa7ad2fc.d: crates/verify/tests/gradcheck_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradcheck_ops-8af8529ffa7ad2fc.rmeta: crates/verify/tests/gradcheck_ops.rs Cargo.toml
+
+crates/verify/tests/gradcheck_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

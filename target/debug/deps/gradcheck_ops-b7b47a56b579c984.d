@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_ops-b7b47a56b579c984.d: crates/verify/tests/gradcheck_ops.rs
+
+/root/repo/target/debug/deps/gradcheck_ops-b7b47a56b579c984: crates/verify/tests/gradcheck_ops.rs
+
+crates/verify/tests/gradcheck_ops.rs:

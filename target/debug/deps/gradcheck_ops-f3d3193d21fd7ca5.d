@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_ops-f3d3193d21fd7ca5.d: crates/verify/tests/gradcheck_ops.rs
+
+/root/repo/target/debug/deps/gradcheck_ops-f3d3193d21fd7ca5: crates/verify/tests/gradcheck_ops.rs
+
+crates/verify/tests/gradcheck_ops.rs:

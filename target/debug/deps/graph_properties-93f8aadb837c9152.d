@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_properties-93f8aadb837c9152.d: crates/crystal/tests/graph_properties.rs
+
+/root/repo/target/debug/deps/graph_properties-93f8aadb837c9152: crates/crystal/tests/graph_properties.rs
+
+crates/crystal/tests/graph_properties.rs:

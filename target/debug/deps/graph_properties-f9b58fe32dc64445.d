@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_properties-f9b58fe32dc64445.d: crates/crystal/tests/graph_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_properties-f9b58fe32dc64445.rmeta: crates/crystal/tests/graph_properties.rs Cargo.toml
+
+crates/crystal/tests/graph_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

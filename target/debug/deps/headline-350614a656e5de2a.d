@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline-350614a656e5de2a.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline-350614a656e5de2a.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

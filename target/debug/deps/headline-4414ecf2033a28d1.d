@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-4414ecf2033a28d1.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-4414ecf2033a28d1: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

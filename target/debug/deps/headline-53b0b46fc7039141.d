@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline-53b0b46fc7039141.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline-53b0b46fc7039141.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-686c7a1074a82a83.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-686c7a1074a82a83: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

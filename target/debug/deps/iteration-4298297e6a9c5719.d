@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iteration-4298297e6a9c5719.d: crates/bench/benches/iteration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiteration-4298297e6a9c5719.rmeta: crates/bench/benches/iteration.rs Cargo.toml
+
+crates/bench/benches/iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

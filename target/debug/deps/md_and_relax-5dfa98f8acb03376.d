@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/md_and_relax-5dfa98f8acb03376.d: tests/md_and_relax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_and_relax-5dfa98f8acb03376.rmeta: tests/md_and_relax.rs Cargo.toml
+
+tests/md_and_relax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/md_and_relax-6dba8f27862e32ef.d: tests/md_and_relax.rs
+
+/root/repo/target/debug/deps/md_and_relax-6dba8f27862e32ef: tests/md_and_relax.rs
+
+tests/md_and_relax.rs:

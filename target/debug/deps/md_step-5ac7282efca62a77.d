@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/md_step-5ac7282efca62a77.d: crates/bench/benches/md_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_step-5ac7282efca62a77.rmeta: crates/bench/benches/md_step.rs Cargo.toml
+
+crates/bench/benches/md_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

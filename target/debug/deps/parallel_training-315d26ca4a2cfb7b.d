@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_training-315d26ca4a2cfb7b.d: tests/parallel_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_training-315d26ca4a2cfb7b.rmeta: tests/parallel_training.rs Cargo.toml
+
+tests/parallel_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

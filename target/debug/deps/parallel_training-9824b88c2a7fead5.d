@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_training-9824b88c2a7fead5.d: tests/parallel_training.rs
+
+/root/repo/target/debug/deps/parallel_training-9824b88c2a7fead5: tests/parallel_training.rs
+
+tests/parallel_training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-32c9b9b43db43b5e.d: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-32c9b9b43db43b5e.rlib: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-32c9b9b43db43b5e.rmeta: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/tmp/fcstubs/parking_lot/src/lib.rs:

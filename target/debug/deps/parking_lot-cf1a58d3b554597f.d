@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-cf1a58d3b554597f.d: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-cf1a58d3b554597f.rmeta: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/tmp/fcstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics_consistency-b7c86012142fb958.d: crates/core/tests/physics_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics_consistency-b7c86012142fb958.rmeta: crates/core/tests/physics_consistency.rs Cargo.toml
+
+crates/core/tests/physics_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

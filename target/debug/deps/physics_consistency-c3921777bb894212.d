@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_consistency-c3921777bb894212.d: crates/core/tests/physics_consistency.rs
+
+/root/repo/target/debug/deps/physics_consistency-c3921777bb894212: crates/core/tests/physics_consistency.rs
+
+crates/core/tests/physics_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_invariants-2c54065460ad8c0c.d: crates/verify/tests/physics_invariants.rs
+
+/root/repo/target/debug/deps/physics_invariants-2c54065460ad8c0c: crates/verify/tests/physics_invariants.rs
+
+crates/verify/tests/physics_invariants.rs:

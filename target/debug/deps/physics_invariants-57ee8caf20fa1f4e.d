@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics_invariants-57ee8caf20fa1f4e.d: crates/verify/tests/physics_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics_invariants-57ee8caf20fa1f4e.rmeta: crates/verify/tests/physics_invariants.rs Cargo.toml
+
+crates/verify/tests/physics_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_invariants-da8a3ef3b0cc324b.d: crates/verify/tests/physics_invariants.rs
+
+/root/repo/target/debug/deps/physics_invariants-da8a3ef3b0cc324b: crates/verify/tests/physics_invariants.rs
+
+crates/verify/tests/physics_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_properties-e6437a5f6471423c.d: tests/physics_properties.rs
+
+/root/repo/target/debug/deps/physics_properties-e6437a5f6471423c: tests/physics_properties.rs
+
+tests/physics_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics_properties-f0acf5b01acc1fcb.d: tests/physics_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics_properties-f0acf5b01acc1fcb.rmeta: tests/physics_properties.rs Cargo.toml
+
+tests/physics_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-32ade8670e59d77b.d: /tmp/fcstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-32ade8670e59d77b.rlib: /tmp/fcstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-32ade8670e59d77b.rmeta: /tmp/fcstubs/proptest/src/lib.rs
+
+/tmp/fcstubs/proptest/src/lib.rs:

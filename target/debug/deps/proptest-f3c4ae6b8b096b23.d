@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f3c4ae6b8b096b23.d: /tmp/fcstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f3c4ae6b8b096b23.rmeta: /tmp/fcstubs/proptest/src/lib.rs
+
+/tmp/fcstubs/proptest/src/lib.rs:

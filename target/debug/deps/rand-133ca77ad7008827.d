@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-133ca77ad7008827.d: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-133ca77ad7008827.rlib: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-133ca77ad7008827.rmeta: /tmp/fcstubs/rand/src/lib.rs
+
+/tmp/fcstubs/rand/src/lib.rs:

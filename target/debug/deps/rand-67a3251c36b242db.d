@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-67a3251c36b242db.d: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67a3251c36b242db.rmeta: /tmp/fcstubs/rand/src/lib.rs
+
+/tmp/fcstubs/rand/src/lib.rs:

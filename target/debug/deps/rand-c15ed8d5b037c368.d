@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c15ed8d5b037c368.d: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c15ed8d5b037c368.rlib: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c15ed8d5b037c368.rmeta: /tmp/fcstubs/rand/src/lib.rs
+
+/tmp/fcstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-9b2460f7449801e6.d: /tmp/fcstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9b2460f7449801e6.rlib: /tmp/fcstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9b2460f7449801e6.rmeta: /tmp/fcstubs/rayon/src/lib.rs
+
+/tmp/fcstubs/rayon/src/lib.rs:

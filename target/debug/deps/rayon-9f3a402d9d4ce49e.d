@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-9f3a402d9d4ce49e.d: /tmp/fcstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9f3a402d9d4ce49e.rmeta: /tmp/fcstubs/rayon/src/lib.rs
+
+/tmp/fcstubs/rayon/src/lib.rs:

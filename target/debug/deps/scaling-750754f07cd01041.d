@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-750754f07cd01041.d: crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-750754f07cd01041.rmeta: crates/bench/benches/scaling.rs Cargo.toml
+
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1ff9556e7a01a9d3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1ff9556e7a01a9d3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6f5c777f757c01c1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6f5c777f757c01c1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-13942a7feab659fd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-13942a7feab659fd: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4832b5c216b6786a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4832b5c216b6786a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-003f19ed48574d27.d: crates/verify/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-003f19ed48574d27: crates/verify/src/bin/verify.rs
+
+crates/verify/src/bin/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-1446619177bd293d.d: crates/verify/src/bin/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-1446619177bd293d.rmeta: crates/verify/src/bin/verify.rs Cargo.toml
+
+crates/verify/src/bin/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

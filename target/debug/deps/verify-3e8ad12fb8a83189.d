@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-3e8ad12fb8a83189.d: crates/verify/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-3e8ad12fb8a83189: crates/verify/src/bin/verify.rs
+
+crates/verify/src/bin/verify.rs:

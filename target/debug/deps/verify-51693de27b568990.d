@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-51693de27b568990.d: crates/verify/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-51693de27b568990: crates/verify/src/bin/verify.rs
+
+crates/verify/src/bin/verify.rs:

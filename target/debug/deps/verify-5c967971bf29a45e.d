@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-5c967971bf29a45e.d: crates/verify/src/bin/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-5c967971bf29a45e.rmeta: crates/verify/src/bin/verify.rs Cargo.toml
+
+crates/verify/src/bin/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

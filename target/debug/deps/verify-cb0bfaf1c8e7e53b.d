@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-cb0bfaf1c8e7e53b.d: crates/verify/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-cb0bfaf1c8e7e53b: crates/verify/src/bin/verify.rs
+
+crates/verify/src/bin/verify.rs:

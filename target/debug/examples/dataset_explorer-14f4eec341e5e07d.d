@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_explorer-14f4eec341e5e07d.d: examples/dataset_explorer.rs
+
+/root/repo/target/debug/examples/dataset_explorer-14f4eec341e5e07d: examples/dataset_explorer.rs
+
+examples/dataset_explorer.rs:

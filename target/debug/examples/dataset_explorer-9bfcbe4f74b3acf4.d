@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataset_explorer-9bfcbe4f74b3acf4.d: examples/dataset_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataset_explorer-9bfcbe4f74b3acf4.rmeta: examples/dataset_explorer.rs Cargo.toml
+
+examples/dataset_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/list_params-29093a169e28126f.d: crates/verify/examples/list_params.rs
+
+/root/repo/target/debug/examples/list_params-29093a169e28126f: crates/verify/examples/list_params.rs
+
+crates/verify/examples/list_params.rs:

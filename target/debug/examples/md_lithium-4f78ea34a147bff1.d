@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/md_lithium-4f78ea34a147bff1.d: examples/md_lithium.rs
+
+/root/repo/target/debug/examples/md_lithium-4f78ea34a147bff1: examples/md_lithium.rs
+
+examples/md_lithium.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/md_lithium-d1a1c38ff2853f61.d: examples/md_lithium.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmd_lithium-d1a1c38ff2853f61.rmeta: examples/md_lithium.rs Cargo.toml
+
+examples/md_lithium.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d6c1aa21ee78325.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d6c1aa21ee78325: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relax_structure-8283e4679982622f.d: examples/relax_structure.rs
+
+/root/repo/target/debug/examples/relax_structure-8283e4679982622f: examples/relax_structure.rs
+
+examples/relax_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/relax_structure-89a2c70228bdb598.d: examples/relax_structure.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelax_structure-89a2c70228bdb598.rmeta: examples/relax_structure.rs Cargo.toml
+
+examples/relax_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_study-2ad65153909aa426.d: examples/scaling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_study-2ad65153909aa426.rmeta: examples/scaling_study.rs Cargo.toml
+
+examples/scaling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-e9a39f146ffd7305.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-e9a39f146ffd7305: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_potential-3231960a2d0614e0.d: examples/train_potential.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_potential-3231960a2d0614e0.rmeta: examples/train_potential.rs Cargo.toml
+
+examples/train_potential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_potential-9ba605fc1520f9eb.d: examples/train_potential.rs
+
+/root/repo/target/debug/examples/train_potential-9ba605fc1520f9eb: examples/train_potential.rs
+
+examples/train_potential.rs:

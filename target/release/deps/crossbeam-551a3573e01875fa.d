@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-551a3573e01875fa.d: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-551a3573e01875fa.rlib: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-551a3573e01875fa.rmeta: /tmp/fcstubs/crossbeam/src/lib.rs
+
+/tmp/fcstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fc_core-c91a9144ab6cf8f8.d: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+/root/repo/target/release/deps/libfc_core-c91a9144ab6cf8f8.rlib: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+/root/repo/target/release/deps/libfc_core-c91a9144ab6cf8f8.rmeta: crates/core/src/lib.rs crates/core/src/atom_ref.rs crates/core/src/basis.rs crates/core/src/config.rs crates/core/src/embedding.rs crates/core/src/heads.rs crates/core/src/interaction.rs crates/core/src/model.rs crates/core/src/nn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/atom_ref.rs:
+crates/core/src/basis.rs:
+crates/core/src/config.rs:
+crates/core/src/embedding.rs:
+crates/core/src/heads.rs:
+crates/core/src/interaction.rs:
+crates/core/src/model.rs:
+crates/core/src/nn.rs:

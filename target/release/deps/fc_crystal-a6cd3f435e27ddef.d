@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fc_crystal-a6cd3f435e27ddef.d: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+/root/repo/target/release/deps/libfc_crystal-a6cd3f435e27ddef.rlib: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+/root/repo/target/release/deps/libfc_crystal-a6cd3f435e27ddef.rmeta: crates/crystal/src/lib.rs crates/crystal/src/batch.rs crates/crystal/src/dataset.rs crates/crystal/src/element.rs crates/crystal/src/graph.rs crates/crystal/src/io.rs crates/crystal/src/known.rs crates/crystal/src/lattice.rs crates/crystal/src/neighbor.rs crates/crystal/src/oracle.rs crates/crystal/src/stats.rs crates/crystal/src/structure.rs
+
+crates/crystal/src/lib.rs:
+crates/crystal/src/batch.rs:
+crates/crystal/src/dataset.rs:
+crates/crystal/src/element.rs:
+crates/crystal/src/graph.rs:
+crates/crystal/src/io.rs:
+crates/crystal/src/known.rs:
+crates/crystal/src/lattice.rs:
+crates/crystal/src/neighbor.rs:
+crates/crystal/src/oracle.rs:
+crates/crystal/src/stats.rs:
+crates/crystal/src/structure.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fc_md-14593e6a49fd0362.d: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+/root/repo/target/release/deps/libfc_md-14593e6a49fd0362.rlib: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+/root/repo/target/release/deps/libfc_md-14593e6a49fd0362.rmeta: crates/md/src/lib.rs crates/md/src/calculator.rs crates/md/src/field.rs crates/md/src/integrator.rs crates/md/src/relax.rs crates/md/src/simulation.rs crates/md/src/thermo.rs
+
+crates/md/src/lib.rs:
+crates/md/src/calculator.rs:
+crates/md/src/field.rs:
+crates/md/src/integrator.rs:
+crates/md/src/relax.rs:
+crates/md/src/simulation.rs:
+crates/md/src/thermo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fc_telemetry-54574c7784a39e0e.d: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libfc_telemetry-54574c7784a39e0e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libfc_telemetry-54574c7784a39e0e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bridge.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bridge.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fc_train-9d0f1b7c3b734a9e.d: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libfc_train-9d0f1b7c3b734a9e.rlib: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libfc_train-9d0f1b7c3b734a9e.rmeta: crates/train/src/lib.rs crates/train/src/allreduce.rs crates/train/src/checkpoint.rs crates/train/src/cluster.rs crates/train/src/dataloader.rs crates/train/src/loss.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/quant.rs crates/train/src/sampler.rs crates/train/src/scaling.rs crates/train/src/sched.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/allreduce.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cluster.rs:
+crates/train/src/dataloader.rs:
+crates/train/src/loss.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/quant.rs:
+crates/train/src/sampler.rs:
+crates/train/src/scaling.rs:
+crates/train/src/sched.rs:
+crates/train/src/trainer.rs:

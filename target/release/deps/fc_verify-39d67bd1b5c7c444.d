@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fc_verify-39d67bd1b5c7c444.d: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+/root/repo/target/release/deps/libfc_verify-39d67bd1b5c7c444.rlib: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+/root/repo/target/release/deps/libfc_verify-39d67bd1b5c7c444.rmeta: crates/verify/src/lib.rs crates/verify/src/equivalence.rs crates/verify/src/golden.rs crates/verify/src/gradcheck.rs crates/verify/src/ops.rs crates/verify/src/physics.rs crates/verify/src/report.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/equivalence.rs:
+crates/verify/src/golden.rs:
+crates/verify/src/gradcheck.rs:
+crates/verify/src/ops.rs:
+crates/verify/src/physics.rs:
+crates/verify/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/verify

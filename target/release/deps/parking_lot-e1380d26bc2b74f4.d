@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e1380d26bc2b74f4.d: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e1380d26bc2b74f4.rlib: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e1380d26bc2b74f4.rmeta: /tmp/fcstubs/parking_lot/src/lib.rs
+
+/tmp/fcstubs/parking_lot/src/lib.rs:

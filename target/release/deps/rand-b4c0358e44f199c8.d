@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b4c0358e44f199c8.d: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b4c0358e44f199c8.rlib: /tmp/fcstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b4c0358e44f199c8.rmeta: /tmp/fcstubs/rand/src/lib.rs
+
+/tmp/fcstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-dbb922d3d6779d96.d: /tmp/fcstubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dbb922d3d6779d96.rlib: /tmp/fcstubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dbb922d3d6779d96.rmeta: /tmp/fcstubs/rayon/src/lib.rs
+
+/tmp/fcstubs/rayon/src/lib.rs:

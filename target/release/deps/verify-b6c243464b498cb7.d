@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify-b6c243464b498cb7.d: crates/verify/src/bin/verify.rs
+
+/root/repo/target/release/deps/verify-b6c243464b498cb7: crates/verify/src/bin/verify.rs
+
+crates/verify/src/bin/verify.rs:
