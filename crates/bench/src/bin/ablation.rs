@@ -20,7 +20,7 @@ use fc_train::{
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("ablation");
     println!("== Ablation studies (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let test: Vec<&Sample> = data.test_samples();

@@ -20,7 +20,7 @@ use fc_train::{
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig10");
     println!("== Fig. 10 reproduction: strong & weak scaling (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let samples: Vec<&Sample> = data.samples.iter().collect();

@@ -28,7 +28,7 @@ fn panel(name: &str, values: &[f64], bins: usize, tsv: &mut String) {
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig5");
     println!("== Fig. 5 reproduction: dataset distribution (scale: {}) ==\n", scale.label);
     let data = scale.wide_dataset();
     let stats = GraphStats::collect(data.samples.iter());

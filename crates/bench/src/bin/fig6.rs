@@ -27,7 +27,7 @@ fn run(scale: &Scale, data: &fc_crystal::SynthMPtrj, lr: f32) -> (TrainConfig, T
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig6");
     println!(
         "== Fig. 6 reproduction: large-batch LR tuning (batch {}, scale: {}) ==\n",
         scale.large_batch, scale.label

@@ -9,7 +9,7 @@ use fc_train::{evaluate_with_scatter, train_model, write_report, LrPolicy, Train
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig7");
     println!("== Fig. 7 reproduction: parity plots (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let test = data.test_samples();

@@ -60,7 +60,7 @@ fn measure(level: OptLevel, samples: &[&Sample], iters: usize, scale: &Scale) ->
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig8");
     println!("== Fig. 8 reproduction: step-by-step optimization (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let batch_sizes: &[usize] = if scale.label == "full" { &[16, 32, 64] } else { &[8, 16] };

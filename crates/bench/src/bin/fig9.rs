@@ -12,7 +12,7 @@ use fc_train::{device_loads, epoch_batches, load_cov, partition, write_report, S
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("fig9");
     let n_devices = 4usize;
     let mini_batch = 32usize; // per device, as in the paper
     let global = n_devices * mini_batch;

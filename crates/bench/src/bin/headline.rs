@@ -69,7 +69,7 @@ fn iteration_time(
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("headline");
     println!("== Headline decomposition (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     let bs = 16.min(data.samples.len());

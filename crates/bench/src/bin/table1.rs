@@ -13,7 +13,7 @@ use fc_train::{train_model, write_report, LrPolicy, TrainConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("table1");
     println!("== Table I reproduction (scale: {}) ==\n", scale.label);
     let data = scale.dataset();
     println!(

@@ -12,7 +12,7 @@ use fc_train::write_report;
 
 fn main() {
     let scale = Scale::from_env();
-    start_telemetry();
+    start_telemetry("table2");
     println!("== Table II reproduction (scale: {}) ==\n", scale.label);
 
     let systems: [(&str, Structure, f64, f64, f64); 3] = [

@@ -133,20 +133,43 @@ pub fn reports_dir() -> PathBuf {
     p
 }
 
+/// True when `FASTCHGNET_TRACE` asks for a flight-recorder timeline
+/// (any value except `0`/`off`/empty).
+pub fn trace_requested() -> bool {
+    match std::env::var("FASTCHGNET_TRACE") {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "off" | "false"),
+        Err(_) => false,
+    }
+}
+
 /// Switch the global telemetry collector on with a clean slate. Every
-/// bench binary calls this first so its `BENCH_*.json` reflects only the
-/// run at hand.
-pub fn start_telemetry() {
+/// bench binary calls this first (with its report name) so its
+/// `BENCH_<name>.json` reflects only the run at hand. When
+/// `FASTCHGNET_TRACE` is set, the flight recorder is armed too and
+/// `emit_bench_report` will export `reports/TRACE_<name>.json`.
+pub fn start_telemetry(name: &str) {
     fc_telemetry::reset();
     fc_telemetry::set_enabled(true);
+    if trace_requested() {
+        fc_telemetry::trace::clear();
+        fc_telemetry::trace::set_tracing(true);
+        fc_telemetry::trace::instant(format!("bench:{name}"));
+    }
 }
 
 /// Emit a bench run report to `reports/BENCH_<name>.json` (JSONL event
-/// stream, see DESIGN.md) and return the path written.
+/// stream, see DESIGN.md) and return the path written. If the flight
+/// recorder is armed, also dump `reports/TRACE_<name>.json` (Chrome
+/// trace-event JSON; open in Perfetto or feed to `trace-report`).
 pub fn emit_bench_report(report: &fc_telemetry::RunReport) -> PathBuf {
     use fc_telemetry::Sink;
     let path = reports_dir().join(format!("BENCH_{}.json", report.name));
     fc_telemetry::JsonlSink::new(&path).emit(report).expect("write bench report");
+    if fc_telemetry::trace::tracing_enabled() {
+        let trace_path = reports_dir().join(format!("TRACE_{}.json", report.name));
+        fc_telemetry::trace::write_chrome_trace(&trace_path).expect("write trace");
+        eprintln!("trace written to {}", trace_path.display());
+    }
     path
 }
 

@@ -104,6 +104,10 @@ pub fn run_md<F: ForceField + ?Sized>(calc: &F, initial: &Structure, cfg: &MdCon
     for step in 0..cfg.steps {
         if step % cfg.log_every == 0 {
             frames.push(make_frame(step, potential, &state, &forces));
+            // Timeline markers for the flight recorder: logged frames as
+            // instants, the potential as a counter series.
+            fc_telemetry::trace::instant("md_frame");
+            fc_telemetry::trace::counter("md.potential_ev", potential);
         }
         let t0 = Instant::now();
         let _step_span = fc_telemetry::span("md_step");
@@ -259,6 +263,36 @@ mod tests {
         assert!(snap.spans["md_step"].count >= 3);
         // Verlet evaluates forces once per step.
         assert!(snap.spans["md_step/integrate/force_eval"].count >= 3);
+    }
+
+    #[test]
+    fn md_trace_records_frame_markers() {
+        use fc_telemetry::trace;
+        let (model, store, s) = setup();
+        let calc = Calculator::new(&model, &store);
+        fc_telemetry::set_enabled(true);
+        trace::set_tracing(true);
+        let _ = run_md(&calc, &s, &MdConfig { steps: 4, log_every: 2, ..Default::default() });
+        // Concurrent tests may record too; keep this thread's buffer only.
+        let mut snap = trace::snapshot();
+        snap.threads.retain(|t| t.thread_name.contains("md_trace_records"));
+        trace::set_tracing(false);
+        fc_telemetry::set_enabled(false);
+        let events: Vec<_> = snap.threads.iter().flat_map(|t| &t.events).collect();
+        let instants =
+            events.iter().filter(|e| e.name == "md_frame" && e.kind == trace::EventKind::Instant);
+        assert_eq!(instants.count(), 2, "one instant per logged frame");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "md.potential_ev"
+                    && matches!(e.kind, trace::EventKind::Counter(_))),
+            "potential counter series missing"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "md_step" && e.kind == trace::EventKind::Begin),
+            "md_step spans should land on the timeline"
+        );
     }
 
     #[test]

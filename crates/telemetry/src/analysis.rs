@@ -1,0 +1,541 @@
+//! Trace analysis: critical path, self-time ranking, per-rank utilization,
+//! and the memory high-water timeline.
+//!
+//! This is the library behind the `trace-report` binary. It consumes the
+//! Chrome trace JSON written by [`crate::trace::write_chrome_trace`]
+//! (parsed back with [`crate::trace::parse_chrome_trace`]) and answers the
+//! questions the paper's figures ask of a timeline:
+//!
+//! * **Critical path** (Fig. 8): starting from the longest top-level span,
+//!   which chain of nested spans dominated wall-clock time?
+//! * **Top ops by self-time**: aggregate per span name, charging each span
+//!   only the time *not* covered by its children.
+//! * **Per-rank busy/idle** (Fig. 9 straggler study): the fraction of the
+//!   trace window each simulated rank spent inside spans, plus the load
+//!   imbalance recomputed from the per-rank [`RANK_LOAD_COUNTER`] samples —
+//!   this must reproduce the `cluster.load_imbalance` gauge the training
+//!   loop exports.
+//! * **Memory high-water timeline**: peak and final value of each counter
+//!   series (e.g. `tensor.bytes_live`), with the time the peak occurred.
+
+use crate::trace::{ParsedEvent, PLAIN_THREAD_TID_BASE};
+use std::collections::BTreeMap;
+
+/// Counter series name carrying each rank's assigned load (feature
+/// numbers) — the numerator/denominator of the paper's Fig. 9 imbalance.
+pub const RANK_LOAD_COUNTER: &str = "rank_load_features";
+
+/// Aggregated statistics of one span name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Span name.
+    pub name: String,
+    /// Number of completed instances.
+    pub count: u64,
+    /// Total inclusive duration (µs).
+    pub total_us: f64,
+    /// Total self time: inclusive minus children (µs).
+    pub self_us: f64,
+}
+
+/// One hop of the critical path (a span instance, depth increasing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalHop {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Inclusive duration of this instance (µs).
+    pub total_us: f64,
+    /// Self time of this instance (µs).
+    pub self_us: f64,
+}
+
+/// Busy/idle accounting of one rank lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankUtilization {
+    /// Rank (lane) id.
+    pub rank: u32,
+    /// Completed span instances on this lane.
+    pub spans: u64,
+    /// Time covered by top-level spans on this lane (µs).
+    pub busy_us: f64,
+    /// `busy_us / wall_us` of the whole trace window.
+    pub busy_frac: f64,
+    /// Sum of this rank's [`RANK_LOAD_COUNTER`] samples, if recorded.
+    pub load: Option<f64>,
+}
+
+/// Summary of one counter series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSummary {
+    /// Series name.
+    pub name: String,
+    /// Number of samples.
+    pub samples: u64,
+    /// Highest sampled value.
+    pub peak: f64,
+    /// Timestamp of the peak (µs).
+    pub peak_ts_us: f64,
+    /// Last sampled value.
+    pub last: f64,
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceAnalysis {
+    /// Trace window: first to last event timestamp (µs).
+    pub wall_us: f64,
+    /// Per-name aggregates, sorted by self time, descending.
+    pub spans: Vec<SpanAgg>,
+    /// The dominant chain of nested span instances.
+    pub critical_path: Vec<CriticalHop>,
+    /// Per-rank utilization, sorted by rank.
+    pub ranks: Vec<RankUtilization>,
+    /// Per-series counter summaries (memory timeline etc.), sorted by name.
+    pub counters: Vec<CounterSummary>,
+    /// `B` events that never closed (should be 0 for a clean trace).
+    pub unclosed_spans: u64,
+}
+
+impl TraceAnalysis {
+    /// Load imbalance `max(load) / mean(load)` over ranks that recorded a
+    /// [`RANK_LOAD_COUNTER`] sample. `None` without load samples. By
+    /// construction this reproduces the `cluster.load_imbalance` gauge.
+    pub fn load_imbalance(&self) -> Option<f64> {
+        let loads: Vec<f64> = self.ranks.iter().filter_map(|r| r.load).collect();
+        if loads.is_empty() {
+            return None;
+        }
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        if mean > 0.0 {
+            Some(max / mean)
+        } else {
+            None
+        }
+    }
+}
+
+/// One reconstructed span instance.
+struct Instance {
+    name: String,
+    depth: usize,
+    total_us: f64,
+    child_us: f64,
+    /// Index of the parent instance in the arena, if nested.
+    parent: Option<usize>,
+    /// Arena indices of direct children.
+    children: Vec<usize>,
+}
+
+/// Analyze a parsed Chrome trace.
+pub fn analyze(events: &[ParsedEvent]) -> TraceAnalysis {
+    // Group events per timeline track, keeping timestamp order.
+    let mut tracks: BTreeMap<u64, Vec<&ParsedEvent>> = BTreeMap::new();
+    let mut t_min = f64::MAX;
+    let mut t_max = f64::MIN;
+    for ev in events {
+        if ev.ph == 'M' {
+            continue;
+        }
+        t_min = t_min.min(ev.ts_us);
+        t_max = t_max.max(ev.ts_us);
+        tracks.entry(ev.tid).or_default().push(ev);
+    }
+    let wall_us = if t_max > t_min { t_max - t_min } else { 0.0 };
+
+    // Reconstruct span instances per track with a begin-stack.
+    let mut arena: Vec<Instance> = Vec::new();
+    let mut roots_by_tid: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut unclosed = 0u64;
+    let mut rank_loads: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut rank_spans: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<String, CounterSummary> = BTreeMap::new();
+    for (&tid, evs) in &tracks {
+        // Stack of (arena index, begin ts).
+        let mut stack: Vec<(usize, f64)> = Vec::new();
+        for ev in evs {
+            match ev.ph {
+                'B' => {
+                    let idx = arena.len();
+                    let parent = stack.last().map(|&(p, _)| p);
+                    arena.push(Instance {
+                        name: ev.name.clone(),
+                        depth: stack.len(),
+                        total_us: 0.0,
+                        child_us: 0.0,
+                        parent,
+                        children: Vec::new(),
+                    });
+                    match parent {
+                        Some(p) => arena[p].children.push(idx),
+                        None => roots_by_tid.entry(tid).or_default().push(idx),
+                    }
+                    stack.push((idx, ev.ts_us));
+                }
+                'E' => {
+                    // Close the most recent unmatched begin (our exporter
+                    // emits strictly nested spans per track).
+                    if let Some((idx, begin_ts)) = stack.pop() {
+                        let dur = (ev.ts_us - begin_ts).max(0.0);
+                        arena[idx].total_us = dur;
+                        if let Some(p) = arena[idx].parent {
+                            arena[p].child_us += dur;
+                        }
+                        if tid < PLAIN_THREAD_TID_BASE {
+                            *rank_spans.entry(tid).or_default() += 1;
+                        }
+                    }
+                }
+                'C' => {
+                    if ev.name == RANK_LOAD_COUNTER && tid < PLAIN_THREAD_TID_BASE {
+                        *rank_loads.entry(tid).or_default() += ev.arg.unwrap_or(0.0);
+                    }
+                    let v = ev.arg.unwrap_or(0.0);
+                    let entry = counters.entry(ev.name.clone()).or_insert(CounterSummary {
+                        name: ev.name.clone(),
+                        samples: 0,
+                        peak: f64::MIN,
+                        peak_ts_us: 0.0,
+                        last: 0.0,
+                    });
+                    entry.samples += 1;
+                    entry.last = v;
+                    if v > entry.peak {
+                        entry.peak = v;
+                        entry.peak_ts_us = ev.ts_us;
+                    }
+                }
+                _ => {}
+            }
+        }
+        unclosed += stack.len() as u64;
+    }
+
+    // Per-name aggregates (closed instances only).
+    let mut agg: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    for inst in arena.iter().filter(|i| i.total_us > 0.0 || i.children.is_empty()) {
+        let e = agg
+            .entry(&inst.name)
+            .or_insert_with(|| SpanAgg { name: inst.name.clone(), ..SpanAgg::default() });
+        e.count += 1;
+        e.total_us += inst.total_us;
+        e.self_us += (inst.total_us - inst.child_us).max(0.0);
+    }
+    let mut spans: Vec<SpanAgg> = agg.into_values().collect();
+    spans.sort_by(|a, b| b.self_us.total_cmp(&a.self_us).then(a.name.cmp(&b.name)));
+
+    // Critical path: from the longest root instance, repeatedly descend
+    // into the longest child.
+    let mut critical_path = Vec::new();
+    let longest_root = roots_by_tid
+        .values()
+        .flatten()
+        .copied()
+        .max_by(|&a, &b| arena[a].total_us.total_cmp(&arena[b].total_us));
+    let mut cursor = longest_root;
+    while let Some(idx) = cursor {
+        let inst = &arena[idx];
+        critical_path.push(CriticalHop {
+            name: inst.name.clone(),
+            depth: inst.depth,
+            total_us: inst.total_us,
+            self_us: (inst.total_us - inst.child_us).max(0.0),
+        });
+        cursor = inst
+            .children
+            .iter()
+            .copied()
+            .max_by(|&a, &b| arena[a].total_us.total_cmp(&arena[b].total_us));
+    }
+
+    // Per-rank busy time = sum of top-level span durations on that lane.
+    let mut busy_by_rank: BTreeMap<u64, f64> = BTreeMap::new();
+    for (&tid, roots) in &roots_by_tid {
+        if tid < PLAIN_THREAD_TID_BASE {
+            busy_by_rank.insert(tid, roots.iter().map(|&i| arena[i].total_us).sum());
+        }
+    }
+    let all_ranks: std::collections::BTreeSet<u64> =
+        busy_by_rank.keys().chain(rank_loads.keys()).copied().collect();
+    let ranks = all_ranks
+        .into_iter()
+        .map(|tid| {
+            let busy_us = busy_by_rank.get(&tid).copied().unwrap_or(0.0);
+            RankUtilization {
+                rank: tid as u32,
+                spans: rank_spans.get(&tid).copied().unwrap_or(0),
+                busy_us,
+                busy_frac: if wall_us > 0.0 { busy_us / wall_us } else { 0.0 },
+                load: rank_loads.get(&tid).copied(),
+            }
+        })
+        .collect();
+
+    TraceAnalysis {
+        wall_us,
+        spans,
+        critical_path,
+        ranks,
+        counters: counters.into_values().collect(),
+        unclosed_spans: unclosed,
+    }
+}
+
+/// Structural validation of an exported trace: non-empty, every `E`
+/// matches a `B` on its track, timestamps non-decreasing per track, and
+/// every track that carries events has a `thread_name` metadata record.
+/// Returns a short human-readable summary, or what is wrong.
+pub fn validate(events: &[ParsedEvent]) -> Result<String, String> {
+    if events.iter().all(|e| e.ph == 'M') {
+        return Err("trace has no events".to_string());
+    }
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut named: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut used: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let (mut spans, mut instants, mut samples) = (0u64, 0u64, 0u64);
+    for ev in events {
+        if ev.ph == 'M' {
+            named.insert(ev.tid);
+            continue;
+        }
+        used.insert(ev.tid);
+        let last = last_ts.entry(ev.tid).or_insert(ev.ts_us);
+        if ev.ts_us < *last {
+            return Err(format!("timestamps regress on tid {}", ev.tid));
+        }
+        *last = ev.ts_us;
+        match ev.ph {
+            'B' => *depth.entry(ev.tid).or_default() += 1,
+            'E' => {
+                let d = depth.entry(ev.tid).or_default();
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("E without matching B on tid {}", ev.tid));
+                }
+                spans += 1;
+            }
+            'i' => instants += 1,
+            'C' => samples += 1,
+            other => return Err(format!("unknown phase {other:?}")),
+        }
+    }
+    if let Some((tid, d)) = depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!("{d} unclosed span(s) on tid {tid}"));
+    }
+    if let Some(tid) = used.iter().find(|t| !named.contains(t)) {
+        return Err(format!("tid {tid} has events but no thread_name metadata"));
+    }
+    Ok(format!(
+        "{} events on {} track(s): {spans} spans, {instants} instants, {samples} counter samples",
+        events.iter().filter(|e| e.ph != 'M').count(),
+        used.len(),
+    ))
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.3} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.3} ms", us / 1e3)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+/// Render an analysis as the `trace-report` console text.
+pub fn render_text(a: &TraceAnalysis, top_k: usize) -> String {
+    let mut out = format!("== trace report (window {}) ==\n", fmt_us(a.wall_us));
+    if a.unclosed_spans > 0 {
+        out.push_str(&format!("!! {} unclosed span(s)\n", a.unclosed_spans));
+    }
+
+    out.push_str("\n-- critical path --\n");
+    if a.critical_path.is_empty() {
+        out.push_str("(no spans)\n");
+    }
+    for hop in &a.critical_path {
+        out.push_str(&format!(
+            "{}{}  total {}  self {}\n",
+            "  ".repeat(hop.depth),
+            hop.name,
+            fmt_us(hop.total_us),
+            fmt_us(hop.self_us),
+        ));
+    }
+
+    out.push_str(&format!("\n-- top {} ops by self time --\n", top_k.min(a.spans.len())));
+    for s in a.spans.iter().take(top_k) {
+        out.push_str(&format!(
+            "{:<28} x{:<6} self {:>12}  total {:>12}\n",
+            s.name,
+            s.count,
+            fmt_us(s.self_us),
+            fmt_us(s.total_us),
+        ));
+    }
+
+    if !a.ranks.is_empty() {
+        out.push_str("\n-- per-rank utilization --\n");
+        for r in &a.ranks {
+            let load = r.load.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "rank {:<3} busy {:>12} ({:>5.1}% busy, {:>5.1}% idle)  spans {:<6} load {}\n",
+                r.rank,
+                fmt_us(r.busy_us),
+                100.0 * r.busy_frac,
+                100.0 * (1.0 - r.busy_frac).max(0.0),
+                r.spans,
+                load,
+            ));
+        }
+        if let Some(imb) = a.load_imbalance() {
+            out.push_str(&format!("load imbalance (max/mean): {imb:.4}\n"));
+        }
+    }
+
+    if !a.counters.is_empty() {
+        out.push_str("\n-- counter series (high water) --\n");
+        for c in &a.counters {
+            out.push_str(&format!(
+                "{:<28} samples {:<6} peak {:.0} @ {}  last {:.0}\n",
+                c.name,
+                c.samples,
+                c.peak,
+                fmt_us(c.peak_ts_us),
+                c.last,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ph: char, ts_us: f64, tid: u64, arg: Option<f64>) -> ParsedEvent {
+        ParsedEvent { name: name.to_string(), ph, ts_us, tid, arg, arg_str: None }
+    }
+
+    fn meta(tid: u64) -> ParsedEvent {
+        ParsedEvent {
+            name: "thread_name".to_string(),
+            ph: 'M',
+            ts_us: 0.0,
+            tid,
+            arg: None,
+            arg_str: Some(format!("rank {tid}")),
+        }
+    }
+
+    /// Two ranks: rank 0 busy 80 of 100 µs, rank 1 busy 40 of 100 µs, with
+    /// load counters 300 / 100.
+    fn two_rank_trace() -> Vec<ParsedEvent> {
+        vec![
+            meta(0),
+            meta(1),
+            ev("step", 'B', 0.0, 0, None),
+            ev(RANK_LOAD_COUNTER, 'C', 1.0, 0, Some(300.0)),
+            ev("forward", 'B', 10.0, 0, None),
+            ev("forward", 'E', 60.0, 0, None),
+            ev("backward", 'B', 60.0, 0, None),
+            ev("backward", 'E', 75.0, 0, None),
+            ev("step", 'E', 80.0, 0, None),
+            ev("step", 'B', 0.0, 1, None),
+            ev(RANK_LOAD_COUNTER, 'C', 1.0, 1, Some(100.0)),
+            ev("forward", 'B', 10.0, 1, None),
+            ev("forward", 'E', 30.0, 1, None),
+            ev("step", 'E', 40.0, 1, None),
+            ev("tensor.bytes_live", 'C', 50.0, 1000, Some(4096.0)),
+            ev("tensor.bytes_live", 'C', 100.0, 1000, Some(1024.0)),
+        ]
+    }
+
+    #[test]
+    fn busy_fractions_and_imbalance() {
+        let a = analyze(&two_rank_trace());
+        assert_eq!(a.wall_us, 100.0);
+        assert_eq!(a.ranks.len(), 2);
+        let r0 = &a.ranks[0];
+        let r1 = &a.ranks[1];
+        assert_eq!(r0.rank, 0);
+        assert!((r0.busy_us - 80.0).abs() < 1e-9);
+        assert!((r0.busy_frac - 0.8).abs() < 1e-9);
+        assert!((r1.busy_frac - 0.4).abs() < 1e-9);
+        assert_eq!(r0.load, Some(300.0));
+        // max/mean = 300 / 200 = 1.5 — exactly the cluster gauge formula.
+        assert!((a.load_imbalance().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let a = analyze(&two_rank_trace());
+        let step = a.spans.iter().find(|s| s.name == "step").unwrap();
+        // rank 0: 80 total, 50+15 children → 15 self; rank 1: 40 total,
+        // 20 child → 20 self.
+        assert!((step.total_us - 120.0).abs() < 1e-9);
+        assert!((step.self_us - 35.0).abs() < 1e-9);
+        let fwd = a.spans.iter().find(|s| s.name == "forward").unwrap();
+        assert_eq!(fwd.count, 2);
+        assert!((fwd.self_us - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_children() {
+        let a = analyze(&two_rank_trace());
+        let names: Vec<&str> = a.critical_path.iter().map(|h| h.name.as_str()).collect();
+        // Longest root is rank 0's step (80 µs); its longest child is
+        // forward (50 µs).
+        assert_eq!(names, ["step", "forward"]);
+        assert_eq!(a.critical_path[0].depth, 0);
+        assert_eq!(a.critical_path[1].depth, 1);
+        assert!((a.critical_path[0].self_us - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_high_water() {
+        let a = analyze(&two_rank_trace());
+        let mem = a.counters.iter().find(|c| c.name == "tensor.bytes_live").unwrap();
+        assert_eq!(mem.samples, 2);
+        assert_eq!(mem.peak, 4096.0);
+        assert_eq!(mem.peak_ts_us, 50.0);
+        assert_eq!(mem.last, 1024.0);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        let good = two_rank_trace();
+        // Plain-thread track 1000 has only counters; give it metadata.
+        let mut good = good;
+        good.push(meta(1000));
+        let summary = validate(&good).expect("valid trace");
+        assert!(summary.contains("spans"), "{summary}");
+
+        let unbalanced = vec![
+            meta(0),
+            ev("a", 'B', 0.0, 0, None),
+            ev("a", 'B', 1.0, 0, None),
+            ev("a", 'E', 2.0, 0, None),
+        ];
+        assert!(validate(&unbalanced).unwrap_err().contains("unclosed"));
+
+        let stray_end = vec![meta(0), ev("a", 'E', 0.0, 0, None)];
+        assert!(validate(&stray_end).unwrap_err().contains("without matching B"));
+
+        assert!(validate(&[meta(0)]).is_err());
+    }
+
+    #[test]
+    fn render_text_mentions_every_section() {
+        let a = analyze(&two_rank_trace());
+        let text = render_text(&a, 5);
+        assert!(text.contains("critical path"));
+        assert!(text.contains("per-rank utilization"));
+        assert!(text.contains("load imbalance (max/mean): 1.5000"));
+        assert!(text.contains("tensor.bytes_live"));
+        assert!(text.contains("rank 0"));
+    }
+}

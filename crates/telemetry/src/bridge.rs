@@ -1,35 +1,64 @@
 //! Bridge from the tensor engine's [`Profiler`] into the metrics registry.
 //!
-//! The tape's profiler counts launched kernels and live/peak buffer bytes
-//! (the paper's Fig. 8 axes). This module folds those counters into the
-//! global registry under a caller-chosen prefix, so a span like `forward`
-//! can carry `tensor.forward.kernels` / `tensor.forward.bytes_peak`
-//! alongside its duration.
+//! The tape's profiler counts launched kernels, live/peak buffer bytes
+//! (the paper's Fig. 8 axes), and FLOP/byte roofline totals. This module
+//! folds those counters into the global registry under a caller-chosen
+//! prefix, so a span like `forward` can carry `tensor.forward.kernels` /
+//! `tensor.forward.bytes_peak` / `tensor.forward.flops` alongside its
+//! duration — plus the derived `intensity_flop_per_byte` and (being a
+//! wall-clock-derived quantity, suffixed `_s` per the determinism
+//! contract) `gflops_s` gauges.
 
 use crate::span::SpanGuard;
 use fc_tensor::{ProfileSnapshot, Profiler};
+use std::time::Instant;
 
-/// Record a profile snapshot under `prefix`: kernel counts go to monotone
-/// counters (pass a [`ProfileSnapshot::since`] delta for per-phase
-/// numbers), byte levels go to gauges (`bytes_peak` keeps the maximum
-/// seen, `bytes_live` the latest level).
+/// Record a profile snapshot under `prefix`: kernel/FLOP/byte counts go to
+/// monotone counters (pass a [`ProfileSnapshot::since`] delta for
+/// per-phase numbers), byte levels go to gauges (`bytes_peak` keeps the
+/// maximum seen, `bytes_live` the latest level), and arithmetic intensity
+/// is derived when traffic was recorded.
 pub fn record_profile(prefix: &str, snap: &ProfileSnapshot) {
     if !crate::enabled() {
         return;
     }
     crate::counter_add(&format!("{prefix}.kernels"), snap.kernels);
     crate::counter_add(&format!("{prefix}.fused_kernels"), snap.fused_kernels);
+    crate::counter_add(&format!("{prefix}.flops"), snap.flops);
+    crate::counter_add(&format!("{prefix}.bytes_moved"), snap.bytes_moved);
     crate::gauge_max(&format!("{prefix}.bytes_peak"), snap.bytes_peak as f64);
     crate::gauge_set(&format!("{prefix}.bytes_live"), snap.bytes_live as f64);
+    if snap.bytes_moved > 0 {
+        crate::gauge_set(&format!("{prefix}.intensity_flop_per_byte"), snap.arithmetic_intensity());
+    }
+}
+
+/// Record the profiler's per-op-kind accounting table under
+/// `tensor.op.<kind>.{count,flops,bytes}` counters. Call once per run
+/// (the table is cumulative) — per-op rows make fusion's traffic savings
+/// visible next to the chains they replace.
+pub fn record_per_op(profiler: &Profiler) {
+    if !crate::enabled() {
+        return;
+    }
+    for (kind, totals) in profiler.per_op() {
+        crate::counter_add(&format!("tensor.op.{kind}.count"), totals.count);
+        crate::counter_add(&format!("tensor.op.{kind}.flops"), totals.flops);
+        crate::counter_add(&format!("tensor.op.{kind}.bytes"), totals.bytes);
+    }
 }
 
 /// A span that also bridges the profiler counters accumulated while it
-/// was open: on drop, records the kernel delta and byte levels under
-/// `tensor.<name>.*`.
+/// was open: on drop, records the kernel/FLOP/byte delta and byte levels
+/// under `tensor.<name>.*`, derives achieved GFLOP/s from the span's own
+/// elapsed time, and (when the flight recorder is on) samples the live
+/// and peak byte levels as `tensor.bytes_live` / `tensor.bytes_peak`
+/// counter events for the memory high-water timeline.
 #[must_use = "a profiled span records on drop; binding to `_` drops immediately"]
 pub struct ProfiledSpan<'p> {
     profiler: Option<&'p Profiler>,
     before: ProfileSnapshot,
+    start: Instant,
     name: &'static str,
     // Declared last: the timing guard closes after the profile is recorded.
     _guard: SpanGuard,
@@ -42,6 +71,7 @@ pub fn profiled_span<'p>(name: &'static str, profiler: &'p Profiler) -> Profiled
     ProfiledSpan {
         profiler: enabled.then_some(profiler),
         before: if enabled { profiler.snapshot() } else { ProfileSnapshot::default() },
+        start: Instant::now(),
         name,
         _guard: crate::span(name),
     }
@@ -50,8 +80,19 @@ pub fn profiled_span<'p>(name: &'static str, profiler: &'p Profiler) -> Profiled
 impl Drop for ProfiledSpan<'_> {
     fn drop(&mut self) {
         if let Some(p) = self.profiler.take() {
-            let delta = p.snapshot().since(&self.before);
+            let snap = p.snapshot();
+            let delta = snap.since(&self.before);
             record_profile(&format!("tensor.{}", self.name), &delta);
+            let secs = self.start.elapsed().as_secs_f64();
+            if secs > 0.0 && delta.flops > 0 {
+                // Wall-clock derived, hence the `_s`-family suffix.
+                crate::gauge_set(
+                    &format!("tensor.{}.gflops_s", self.name),
+                    delta.flops as f64 / secs / 1e9,
+                );
+            }
+            crate::trace::counter("tensor.bytes_live", snap.bytes_live as f64);
+            crate::trace::counter("tensor.bytes_peak", snap.bytes_peak as f64);
         }
     }
 }
@@ -59,6 +100,7 @@ impl Drop for ProfiledSpan<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fc_tensor::OpCost;
 
     #[test]
     fn profiled_span_bridges_kernel_deltas() {
@@ -67,19 +109,72 @@ mod tests {
         crate::set_enabled(true);
         let p = Profiler::new();
         p.record_kernel(false); // before the span: must not be counted
+        p.record_cost(OpCost { kind: "matmul", flops: 999, bytes: 10 });
         p.alloc(64);
         {
             let _s = profiled_span("forward", &p);
             p.record_kernel(true);
             p.record_kernel(false);
+            p.record_cost(OpCost { kind: "matmul", flops: 1000, bytes: 500 });
             p.alloc(192);
         }
         let snap = crate::snapshot();
         crate::set_enabled(false);
         assert_eq!(snap.counters["tensor.forward.kernels"], 2);
         assert_eq!(snap.counters["tensor.forward.fused_kernels"], 1);
+        assert_eq!(snap.counters["tensor.forward.flops"], 1000);
+        assert_eq!(snap.counters["tensor.forward.bytes_moved"], 500);
         assert_eq!(snap.gauges["tensor.forward.bytes_peak"], 256.0);
+        assert_eq!(snap.gauges["tensor.forward.intensity_flop_per_byte"], 2.0);
+        assert!(snap.gauges["tensor.forward.gflops_s"] > 0.0);
         assert_eq!(snap.spans["forward"].count, 1);
+    }
+
+    #[test]
+    fn per_op_table_lands_under_tensor_op() {
+        let _l = crate::tests::test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        let p = Profiler::new();
+        p.record_cost(OpCost { kind: "matmul", flops: 64, bytes: 32 });
+        p.record_cost(OpCost { kind: "fused.gate", flops: 28, bytes: 12 });
+        p.record_cost(OpCost { kind: "fused.gate", flops: 28, bytes: 12 });
+        record_per_op(&p);
+        let snap = crate::snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counters["tensor.op.matmul.count"], 1);
+        assert_eq!(snap.counters["tensor.op.matmul.flops"], 64);
+        assert_eq!(snap.counters["tensor.op.fused.gate.count"], 2);
+        assert_eq!(snap.counters["tensor.op.fused.gate.bytes"], 24);
+    }
+
+    #[test]
+    fn profiled_span_samples_memory_timeline_when_tracing() {
+        let _l = crate::tests::test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        crate::trace::set_tracing(true);
+        crate::trace::clear();
+        let p = Profiler::new();
+        {
+            let _s = profiled_span("forward", &p);
+            p.alloc(4096);
+            p.free(1024);
+        }
+        let trace = crate::trace::snapshot();
+        crate::trace::set_tracing(false);
+        crate::set_enabled(false);
+        let find = |name: &str| {
+            trace
+                .threads
+                .iter()
+                .flat_map(|t| &t.events)
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("missing {name} sample"))
+                .clone()
+        };
+        assert_eq!(find("tensor.bytes_live").kind, crate::trace::EventKind::Counter(3072.0));
+        assert_eq!(find("tensor.bytes_peak").kind, crate::trace::EventKind::Counter(4096.0));
     }
 
     #[test]
@@ -93,6 +188,7 @@ mod tests {
             p.record_kernel(false);
         }
         record_profile("tensor.x", &p.snapshot());
+        record_per_op(&p);
         let snap = crate::snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.spans.is_empty());

@@ -1,0 +1,364 @@
+//! Perf-regression gate: compare bench report timings against a committed
+//! baseline.
+//!
+//! The bench suite writes `reports/BENCH_*.json` (JSONL streams from
+//! [`crate::sink::JsonlSink`]); this module extracts their `timing` events
+//! and compares them with the committed `reports/BASELINE_BENCH.json`. A
+//! tracked timing that grew beyond `tolerance ×` its baseline fails the
+//! gate (and, wired through `scripts/perf_gate.sh`, fails `check.sh`).
+//!
+//! ## Tolerance policy (DESIGN.md §10)
+//!
+//! * Default tolerance is [`DEFAULT_TOLERANCE`] (×1.6): generous enough
+//!   for shared-machine noise, strict enough that a 2× regression —
+//!   the canonical "accidentally quadratic / dropped an optimization"
+//!   failure — always trips.
+//! * Only *duration* keys gate. `speedup_*` and `fit_*` keys are derived
+//!   ratios/fit parameters, not durations ([`is_gated_key`]).
+//! * Baselines under [`MIN_GATED_SECONDS`] are skipped: sub-millisecond
+//!   timings are dominated by timer and scheduler noise.
+//! * New keys (no baseline) pass and are reported as `new`; baseline keys
+//!   absent from the current run are reported as `missing` but do not
+//!   fail (bench sets evolve; deleting a bench should not require a
+//!   baseline edit in the same commit).
+//! * Improvements never fail. Re-bless the baseline
+//!   (`perf-gate --bless`) when a real speedup lands, so the gate tracks
+//!   the new level.
+
+use std::collections::BTreeMap;
+
+/// Default regression tolerance: fail when `current > tolerance × baseline`.
+pub const DEFAULT_TOLERANCE: f64 = 1.6;
+
+/// Baselines shorter than this (seconds) are never gated.
+pub const MIN_GATED_SECONDS: f64 = 1e-3;
+
+/// Schema version of the baseline file.
+pub const BASELINE_SCHEMA_VERSION: u32 = 1;
+
+/// One tracked timing: `(bench, key) → seconds`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineEntry {
+    /// Bench name (the report's `name`).
+    pub bench: String,
+    /// Timing key within the bench.
+    pub key: String,
+    /// Measured duration in seconds.
+    pub seconds: f64,
+}
+
+/// Should this timing key gate? Derived ratios (`speedup_*`) and fit
+/// parameters (`fit_*`) are not durations and are excluded.
+pub fn is_gated_key(key: &str) -> bool {
+    !key.starts_with("speedup_") && !key.starts_with("fit_")
+}
+
+/// Pull every `timing` event out of one bench report's JSONL stream.
+pub fn extract_timings(jsonl: &str) -> Vec<BaselineEntry> {
+    let mut bench = String::new();
+    let mut out = Vec::new();
+    for line in jsonl.lines() {
+        let Some(fields) = crate::sink::parse_jsonl_line(line) else { continue };
+        let unquote = |v: &String| v.trim_matches('"').to_string();
+        match fields.get("event").map(String::as_str) {
+            Some("\"run\"") => {
+                bench = fields.get("name").map(unquote).unwrap_or_default();
+            }
+            Some("\"timing\"") => {
+                let (Some(key), Some(secs)) = (
+                    fields.get("key").map(unquote),
+                    fields.get("seconds_s").and_then(|v| v.parse::<f64>().ok()),
+                ) else {
+                    continue;
+                };
+                out.push(BaselineEntry { bench: bench.clone(), key, seconds: secs });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Render entries as the committed `BASELINE_BENCH.json` (JSONL: a header
+/// line, then one entry per line, sorted for stable diffs).
+pub fn render_baseline(entries: &[BaselineEntry]) -> String {
+    use crate::report::{json_f64, json_str};
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (&a.bench, &a.key).cmp(&(&b.bench, &b.key)));
+    let mut out = format!(
+        "{{\"event\":\"perf_baseline\",\"schema_version\":{BASELINE_SCHEMA_VERSION},\
+         \"entries\":{}}}\n",
+        sorted.len()
+    );
+    for e in sorted {
+        out.push_str(&format!(
+            "{{\"event\":\"baseline\",\"bench\":{},\"key\":{},\"seconds_s\":{}}}\n",
+            json_str(&e.bench),
+            json_str(&e.key),
+            json_f64(e.seconds)
+        ));
+    }
+    out
+}
+
+/// Parse a baseline file back. `None` when the header is missing/foreign.
+pub fn parse_baseline(text: &str) -> Option<Vec<BaselineEntry>> {
+    let mut lines = text.lines();
+    let head = crate::sink::parse_jsonl_line(lines.next()?)?;
+    if head.get("event").map(String::as_str) != Some("\"perf_baseline\"") {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = crate::sink::parse_jsonl_line(line)?;
+        let unquote = |v: &String| v.trim_matches('"').to_string();
+        out.push(BaselineEntry {
+            bench: fields.get("bench").map(unquote)?,
+            key: fields.get("key").map(unquote)?,
+            seconds: fields.get("seconds_s").and_then(|v| v.parse().ok())?,
+        });
+    }
+    Some(out)
+}
+
+/// Outcome of one `(bench, key)` comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Pass,
+    /// Regressed beyond tolerance.
+    Fail,
+    /// No baseline for this key (passes; bless to start tracking).
+    New,
+    /// Baseline key absent from the current run (passes, reported).
+    Missing,
+    /// Excluded by policy (non-duration key or sub-threshold baseline).
+    Skipped,
+}
+
+/// One compared timing.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Bench name.
+    pub bench: String,
+    /// Timing key.
+    pub key: String,
+    /// Baseline seconds, if tracked.
+    pub baseline_s: Option<f64>,
+    /// Current seconds, if measured this run.
+    pub current_s: Option<f64>,
+    /// `current / baseline` when both exist.
+    pub ratio: Option<f64>,
+    /// Outcome.
+    pub status: GateStatus,
+}
+
+/// The gate's full result.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// Per-key verdicts, sorted by `(bench, key)`.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl GateReport {
+    /// True when any tracked timing regressed beyond tolerance.
+    pub fn failed(&self) -> bool {
+        self.verdicts.iter().any(|v| v.status == GateStatus::Fail)
+    }
+
+    /// Verdicts with a given status.
+    pub fn with_status(&self, status: GateStatus) -> impl Iterator<Item = &Verdict> {
+        self.verdicts.iter().filter(move |v| v.status == status)
+    }
+
+    /// Render the gate outcome as console text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("== perf gate (tolerance x{:.2}) ==\n", self.tolerance);
+        for v in &self.verdicts {
+            let status = match v.status {
+                GateStatus::Pass => "pass",
+                GateStatus::Fail => "FAIL",
+                GateStatus::New => "new",
+                GateStatus::Missing => "missing",
+                GateStatus::Skipped => "skip",
+            };
+            let fmt = |s: Option<f64>| {
+                s.map(|s| format!("{:.3} ms", s * 1e3)).unwrap_or_else(|| "-".to_string())
+            };
+            let ratio = v.ratio.map(|r| format!("x{r:.2}")).unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{status:<7} {:<14} {:<24} base {:>12}  now {:>12}  {ratio}\n",
+                v.bench,
+                v.key,
+                fmt(v.baseline_s),
+                fmt(v.current_s),
+            ));
+        }
+        let fails = self.with_status(GateStatus::Fail).count();
+        let passes = self.with_status(GateStatus::Pass).count();
+        out.push_str(&format!(
+            "{} tracked, {} regression(s){}\n",
+            passes + fails,
+            fails,
+            if fails > 0 { " — FAILED" } else { "" }
+        ));
+        out
+    }
+}
+
+/// Compare current timings against the baseline.
+pub fn compare(
+    baseline: &[BaselineEntry],
+    current: &[BaselineEntry],
+    tolerance: f64,
+) -> GateReport {
+    let mut base: BTreeMap<(&str, &str), f64> = BTreeMap::new();
+    for e in baseline {
+        base.insert((&e.bench, &e.key), e.seconds);
+    }
+    let mut cur: BTreeMap<(&str, &str), f64> = BTreeMap::new();
+    for e in current {
+        cur.insert((&e.bench, &e.key), e.seconds);
+    }
+    let keys: std::collections::BTreeSet<(&str, &str)> =
+        base.keys().chain(cur.keys()).copied().collect();
+    let verdicts = keys
+        .into_iter()
+        .map(|(bench, key)| {
+            let b = base.get(&(bench, key)).copied();
+            let c = cur.get(&(bench, key)).copied();
+            let ratio = match (b, c) {
+                (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+                _ => None,
+            };
+            let status = if !is_gated_key(key) {
+                GateStatus::Skipped
+            } else {
+                match (b, c) {
+                    (None, Some(_)) => GateStatus::New,
+                    (Some(_), None) => GateStatus::Missing,
+                    (Some(b), Some(_)) if b < MIN_GATED_SECONDS => GateStatus::Skipped,
+                    (Some(_), Some(_)) if ratio.is_some_and(|r| r > tolerance) => GateStatus::Fail,
+                    _ => GateStatus::Pass,
+                }
+            };
+            Verdict {
+                bench: bench.to_string(),
+                key: key.to_string(),
+                baseline_s: b,
+                current_s: c,
+                ratio,
+                status,
+            }
+        })
+        .collect();
+    GateReport { tolerance, verdicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, key: &str, seconds: f64) -> BaselineEntry {
+        BaselineEntry { bench: bench.to_string(), key: key.to_string(), seconds }
+    }
+
+    #[test]
+    fn two_x_inflation_fails_default_tolerance() {
+        let base = vec![entry("headline", "iter_fused", 0.050)];
+        let cur = vec![entry("headline", "iter_fused", 0.100)];
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(report.failed());
+        let v = &report.verdicts[0];
+        assert_eq!(v.status, GateStatus::Fail);
+        assert!((v.ratio.unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_drift_passes() {
+        let base = vec![entry("headline", "iter_fused", 0.050)];
+        let cur = vec![entry("headline", "iter_fused", 0.070)]; // ×1.4
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.failed());
+        assert_eq!(report.verdicts[0].status, GateStatus::Pass);
+        // Improvements never fail.
+        let fast = vec![entry("headline", "iter_fused", 0.001)];
+        assert!(!compare(&base, &fast, DEFAULT_TOLERANCE).failed());
+    }
+
+    #[test]
+    fn ratio_and_fit_keys_are_skipped() {
+        assert!(!is_gated_key("speedup_total"));
+        assert!(!is_gated_key("fit_t_fixed"));
+        assert!(is_gated_key("iter_fused"));
+        let base = vec![entry("headline", "speedup_total", 1.0)];
+        let cur = vec![entry("headline", "speedup_total", 10.0)];
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.failed());
+        assert_eq!(report.verdicts[0].status, GateStatus::Skipped);
+    }
+
+    #[test]
+    fn sub_millisecond_baselines_are_skipped() {
+        let base = vec![entry("b", "tiny", 0.0002)];
+        let cur = vec![entry("b", "tiny", 0.02)]; // ×100 but under threshold
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.failed());
+        assert_eq!(report.verdicts[0].status, GateStatus::Skipped);
+    }
+
+    #[test]
+    fn new_and_missing_keys_pass() {
+        let base = vec![entry("b", "removed", 0.5)];
+        let cur = vec![entry("b", "added", 0.5)];
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.failed());
+        let by_key: BTreeMap<&str, GateStatus> =
+            report.verdicts.iter().map(|v| (v.key.as_str(), v.status)).collect();
+        assert_eq!(by_key["removed"], GateStatus::Missing);
+        assert_eq!(by_key["added"], GateStatus::New);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let entries =
+            vec![entry("table2", "li_step", 0.030), entry("headline", "iter_fused", 0.0525)];
+        let text = render_baseline(&entries);
+        assert!(text.starts_with("{\"event\":\"perf_baseline\""));
+        let back = parse_baseline(&text).expect("parses");
+        // Sorted on render.
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], entry("headline", "iter_fused", 0.0525));
+        assert_eq!(back[1], entry("table2", "li_step", 0.030));
+        assert!(parse_baseline("{\"event\":\"other\"}\n").is_none());
+    }
+
+    #[test]
+    fn extract_timings_from_report_stream() {
+        let r = crate::registry::Registry::new();
+        let mut report = crate::RunReport::with_snapshot("headline", 42, r.snapshot());
+        report.set_timing("iter_fused", 0.05).set_timing("speedup_total", 12.0);
+        let jsonl = crate::sink::render_jsonl(&report);
+        let mut timings = extract_timings(&jsonl);
+        timings.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0], entry("headline", "iter_fused", 0.05));
+        assert_eq!(timings[1], entry("headline", "speedup_total", 12.0));
+    }
+
+    #[test]
+    fn render_text_names_failures() {
+        let base = vec![entry("headline", "iter_fused", 0.05)];
+        let cur = vec![entry("headline", "iter_fused", 0.2)];
+        let report = compare(&base, &cur, DEFAULT_TOLERANCE);
+        let text = report.render_text();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("FAILED"), "{text}");
+        assert!(text.contains("iter_fused"));
+    }
+}

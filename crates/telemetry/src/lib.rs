@@ -14,19 +14,30 @@
 //! * **Sinks** — render a [`RunReport`] to pretty console tables
 //!   ([`ConsoleSink`]), TSV ([`TsvSink`]), or a schema-versioned JSONL
 //!   event stream ([`JsonlSink`], the format behind `reports/BENCH_*.json`).
-//! * **Profiler bridge** — [`bridge`] folds the kernel/memory counters of
-//!   [`fc_tensor::Profiler`] into the registry per span.
+//! * **Profiler bridge** — [`bridge`] folds the kernel/memory/FLOP/byte
+//!   counters of [`fc_tensor::Profiler`] into the registry per span, and
+//!   derives arithmetic intensity and achieved GFLOP/s.
+//! * **Flight recorder** — [`trace`] keeps a per-thread ring buffer of
+//!   timestamped begin/end/instant/counter events (every [`span`] is also
+//!   a timeline event while tracing is on), with *lane* attribution for
+//!   simulated cluster ranks, exported as Chrome trace-event JSON
+//!   (`reports/TRACE_*.json`). [`analysis`] reads a trace back and
+//!   computes critical path, per-op self-time, per-rank busy/idle, and the
+//!   memory high-water timeline; [`gate`] compares report timings against
+//!   a committed perf baseline.
 //!
 //! Telemetry is **disabled by default** and zero-cost when disabled: every
 //! entry point checks one relaxed atomic and returns an inert guard or
 //! no-ops. There is no `unsafe` and no `static mut` anywhere; global state
 //! lives in a `OnceLock<Collector>` guarded by `Mutex`es.
 //!
-//! Determinism contract: nothing in this crate records wall-clock
+//! Determinism contract: the registry and reports record no wall-clock
 //! *timestamps* — only measured *durations* (always in keys/fields ending
 //! in `_s`). A run that records only deterministic quantities into
 //! counters/gauges/histograms therefore produces byte-identical
-//! non-`_s` report fields across same-seed runs.
+//! non-`_s` report fields across same-seed runs. The [`trace`] module is
+//! the deliberate exception: timelines are wall-clock artifacts and
+//! `TRACE_*.json` files are never byte-compared.
 //!
 //! ```
 //! use fc_telemetry as tel;
@@ -44,11 +55,14 @@
 //! tel::set_enabled(false);
 //! ```
 
+pub mod analysis;
 pub mod bridge;
+pub mod gate;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use registry::{HistogramSnapshot, Registry, SpanStat, TelemetrySnapshot, DEFAULT_BOUNDS};
 pub use report::{RunReport, Value, SCHEMA_VERSION};

@@ -22,12 +22,15 @@ pub struct SpanGuard {
 }
 
 struct OpenSpan {
+    name: &'static str,
     path: String,
     start: Instant,
 }
 
 /// Open a scoped span. While telemetry is disabled this is one relaxed
-/// atomic load and returns an inert guard.
+/// atomic load and returns an inert guard. When the flight recorder is on
+/// ([`crate::trace::set_tracing`]), the open/close moments are also
+/// recorded as timeline begin/end events.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
@@ -38,13 +41,15 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(name);
         stack.join("/")
     });
-    SpanGuard { inner: Some(OpenSpan { path, start: Instant::now() }) }
+    crate::trace::begin(name);
+    SpanGuard { inner: Some(OpenSpan { name, path, start: Instant::now() }) }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(open) = self.inner.take() {
             let secs = open.start.elapsed().as_secs_f64();
+            crate::trace::end(open.name);
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });

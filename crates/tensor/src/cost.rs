@@ -1,0 +1,288 @@
+//! Per-op FLOP and bytes-moved accounting.
+//!
+//! Every tape node executes exactly one kernel; this module assigns each
+//! kernel a FLOP count and a bytes-moved count so the profiler can report
+//! arithmetic intensity (FLOP/byte) and achieved GFLOP/s — the roofline
+//! axes that tell a compute-bound op from a memory-bound one, and that
+//! make kernel fusion's traffic savings visible (a fused kernel moves only
+//! its inputs and outputs; the chain it replaces also materialises every
+//! intermediate).
+//!
+//! Conventions (see DESIGN.md §10 for the full table):
+//!
+//! * **Bytes**: each kernel reads every input operand once and writes its
+//!   output once; elements are 4 bytes (`f32`, and `u32` for index/segment
+//!   arrays). No cache modelling — this is the *minimum traffic* of the
+//!   kernel, the roofline numerator's denominator.
+//! * **FLOPs**: one add/sub/mul/compare/select = 1; one divide or sqrt
+//!   = [`DIV_FLOPS`]; one transcendental (exp/ln/sin/cos/arccos/tanh)
+//!   = [`TRANSCENDENTAL_FLOPS`]. Pure data movement (transpose, gather,
+//!   concat, slice, pad, reshape, broadcast) is 0 FLOPs. GEMM is the
+//!   textbook `2·m·k·n`.
+//! * Fused-basis kernels count the FLOPs of their *recurrence* form (the
+//!   optimized implementation), not the naive per-element transcendental
+//!   form — the speedup of fusion shows up as fewer launched kernels and
+//!   less traffic, not as fudged FLOPs.
+
+use crate::kernels::elementwise::{BinKind, UnKind};
+use crate::op::Op;
+use crate::shape::Shape;
+
+/// FLOPs charged for one divide, reciprocal, or square root.
+pub const DIV_FLOPS: u64 = 4;
+/// FLOPs charged for one transcendental evaluation (exp, ln, sin, cos,
+/// arccos, tanh).
+pub const TRANSCENDENTAL_FLOPS: u64 = 8;
+
+/// The cost of one kernel execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Stable kind label (`"matmul"`, `"un.exp"`, `"fused.srbf"`, ...)
+    /// used as the per-op accounting key.
+    pub kind: &'static str,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Bytes read plus bytes written (minimum traffic).
+    pub bytes: u64,
+}
+
+/// FLOPs per element of a unary kernel.
+fn un_flops_per_elem(kind: UnKind) -> u64 {
+    match kind {
+        UnKind::Neg
+        | UnKind::Square
+        | UnKind::Abs
+        | UnKind::Sign
+        | UnKind::Scale(_)
+        | UnKind::AddScalar(_)
+        | UnKind::ClampMax(_)
+        | UnKind::LtScalar(_) => 1,
+        UnKind::Clamp(..) | UnKind::InsideInterval(..) => 2,
+        UnKind::Recip | UnKind::Sqrt => DIV_FLOPS,
+        UnKind::Exp | UnKind::Ln | UnKind::Sin | UnKind::Cos | UnKind::Arccos | UnKind::Tanh => {
+            TRANSCENDENTAL_FLOPS
+        }
+        // exp + add + div.
+        UnKind::Sigmoid => TRANSCENDENTAL_FLOPS + 1 + DIV_FLOPS,
+        // sigmoid + mul.
+        UnKind::Silu => TRANSCENDENTAL_FLOPS + 1 + DIV_FLOPS + 1,
+        UnKind::Powi(n) => (n.unsigned_abs() as u64).max(1),
+    }
+}
+
+/// Stable label of a unary kernel kind.
+fn un_kind_name(kind: UnKind) -> &'static str {
+    match kind {
+        UnKind::Neg => "un.neg",
+        UnKind::Exp => "un.exp",
+        UnKind::Ln => "un.ln",
+        UnKind::Sqrt => "un.sqrt",
+        UnKind::Sin => "un.sin",
+        UnKind::Cos => "un.cos",
+        UnKind::Arccos => "un.arccos",
+        UnKind::Sigmoid => "un.sigmoid",
+        UnKind::Silu => "un.silu",
+        UnKind::Tanh => "un.tanh",
+        UnKind::Recip => "un.recip",
+        UnKind::Square => "un.square",
+        UnKind::Abs => "un.abs",
+        UnKind::Sign => "un.sign",
+        UnKind::Powi(_) => "un.powi",
+        UnKind::Scale(_) => "un.scale",
+        UnKind::AddScalar(_) => "un.add_scalar",
+        UnKind::ClampMax(_) => "un.clamp_max",
+        UnKind::Clamp(..) => "un.clamp",
+        UnKind::LtScalar(_) => "un.lt_scalar",
+        UnKind::InsideInterval(..) => "un.inside_interval",
+    }
+}
+
+fn bin_kind_name(kind: BinKind) -> &'static str {
+    match kind {
+        BinKind::Add => "bin.add",
+        BinKind::Sub => "bin.sub",
+        BinKind::Mul => "bin.mul",
+        BinKind::Div => "bin.div",
+    }
+}
+
+const F32: u64 = 4;
+
+/// Cost of executing `op` given its input shapes (in [`Op::inputs`] order)
+/// and output shape. Leaves cost nothing: their buffers are charged to the
+/// producer (host upload is outside the kernel model).
+pub fn op_cost(op: &Op, input_shapes: &[Shape], out: Shape) -> OpCost {
+    let n_out = out.len() as u64;
+    let in_elems: u64 = input_shapes.iter().map(|s| s.len() as u64).sum();
+    // Default traffic: read every input once, write the output once.
+    let io_bytes = F32 * (in_elems + n_out);
+    match op {
+        Op::Leaf | Op::DiffLeaf | Op::Param(_) => OpCost { kind: "leaf", flops: 0, bytes: 0 },
+        Op::Un { kind, .. } => OpCost {
+            kind: un_kind_name(*kind),
+            flops: n_out * un_flops_per_elem(*kind),
+            bytes: io_bytes,
+        },
+        Op::Bin { kind, .. } => OpCost {
+            kind: bin_kind_name(*kind),
+            flops: n_out * if *kind == BinKind::Div { DIV_FLOPS } else { 1 },
+            bytes: io_bytes,
+        },
+        Op::Matmul { .. } => {
+            // (m, k) @ (k, n): 2·m·k·n FLOPs.
+            let (m, k) = (input_shapes[0].rows as u64, input_shapes[0].cols as u64);
+            let n = out.cols as u64;
+            OpCost { kind: "matmul", flops: 2 * m * k * n, bytes: io_bytes }
+        }
+        Op::Transpose { .. } => OpCost { kind: "transpose", flops: 0, bytes: io_bytes },
+        Op::Sum { .. } => OpCost { kind: "sum", flops: in_elems, bytes: io_bytes },
+        Op::BroadcastTo { .. } => OpCost { kind: "broadcast_to", flops: 0, bytes: io_bytes },
+        Op::Gather { idx, .. } => OpCost {
+            kind: "gather",
+            flops: 0,
+            // Gathered rows + the u32 index array + the output.
+            bytes: F32 * (2 * n_out + idx.len() as u64),
+        },
+        Op::SegSum { seg, .. } => OpCost {
+            kind: "segment_sum",
+            flops: in_elems,
+            bytes: io_bytes + F32 * seg.len() as u64,
+        },
+        Op::ConcatCols { .. } => OpCost { kind: "concat_cols", flops: 0, bytes: io_bytes },
+        Op::ConcatRows { .. } => OpCost { kind: "concat_rows", flops: 0, bytes: io_bytes },
+        Op::SliceCols { .. } | Op::SliceRows { .. } => OpCost {
+            kind: if matches!(op, Op::SliceCols { .. }) { "slice_cols" } else { "slice_rows" },
+            // A slice reads only what it writes.
+            flops: 0,
+            bytes: F32 * 2 * n_out,
+        },
+        Op::PadCols { .. } | Op::PadRows { .. } => OpCost {
+            kind: if matches!(op, Op::PadCols { .. }) { "pad_cols" } else { "pad_rows" },
+            flops: 0,
+            bytes: io_bytes,
+        },
+        Op::Reshape { .. } => OpCost { kind: "reshape", flops: 0, bytes: io_bytes },
+        Op::BlockDiagMm { seg, .. } => {
+            // Per output row: (1×3) @ (3×3) = 2·3·3 FLOPs.
+            let rows = out.rows as u64;
+            OpCost {
+                kind: "block_diag_mm",
+                flops: 18 * rows,
+                bytes: io_bytes + F32 * seg.len() as u64,
+            }
+        }
+        Op::FusedSrbf { .. } => OpCost {
+            kind: "fused.srbf",
+            // Recurrence form: one sin+cos per row amortised over n_basis
+            // columns, plus ~4 multiply-adds per element (recurrence step,
+            // envelope product, normalisation).
+            flops: n_out * 8,
+            bytes: io_bytes,
+        },
+        Op::FusedFourier { .. } => OpCost {
+            kind: "fused.fourier",
+            // Chebyshev-style recurrence: ~4 FLOPs per element.
+            flops: n_out * 4,
+            bytes: io_bytes,
+        },
+        Op::FusedGate { .. } => OpCost {
+            kind: "fused.gate",
+            // sigmoid(a) ⊙ silu(b): sigmoid + silu + mul per element.
+            flops: n_out * (2 * (TRANSCENDENTAL_FLOPS + 1 + DIV_FLOPS) + 2),
+            bytes: io_bytes,
+        },
+        Op::FusedLayerNorm { .. } => OpCost {
+            kind: "fused.layer_norm",
+            // mean + variance (2 passes of adds + squares) + normalise
+            // (sub, mul by inv-std) + affine (mul, add) ≈ 8 per element.
+            flops: n_out * 8,
+            bytes: io_bytes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Bcast;
+    use std::sync::Arc;
+
+    #[test]
+    fn matmul_flops_are_2mkn() {
+        let c = op_cost(
+            &Op::Matmul { a: 0, b: 1 },
+            &[Shape::new(4, 8), Shape::new(8, 16)],
+            Shape::new(4, 16),
+        );
+        assert_eq!(c.kind, "matmul");
+        assert_eq!(c.flops, 2 * 4 * 8 * 16);
+        assert_eq!(c.bytes, 4 * (4 * 8 + 8 * 16 + 4 * 16));
+    }
+
+    #[test]
+    fn movement_ops_cost_zero_flops() {
+        for op in [
+            Op::Transpose { a: 0 },
+            Op::Reshape { a: 0, shape: Shape::new(2, 6) },
+            Op::ConcatCols { parts: vec![0, 1].into_boxed_slice() },
+            Op::PadRows { a: 0, start: 0, total: 4 },
+        ] {
+            let c = op_cost(&op, &[Shape::new(3, 4)], Shape::new(4, 3));
+            assert_eq!(c.flops, 0, "{:?}", c.kind);
+            assert!(c.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn fused_gate_traffic_beats_the_chain_it_replaces() {
+        // The fused gate reads a, b and writes out: 3 buffer-passes. The
+        // unfused chain (sigmoid(a), silu(b), mul) moves 7 buffer-passes
+        // for the same math — it also materialises both intermediates.
+        // FLOPs are identical by construction.
+        let s = Shape::new(64, 16);
+        let fused = op_cost(&Op::FusedGate { a: 0, b: 1 }, &[s, s], s);
+        let sig = op_cost(&Op::Un { kind: UnKind::Sigmoid, a: 0 }, &[s], s);
+        let silu = op_cost(&Op::Un { kind: UnKind::Silu, a: 1 }, &[s], s);
+        let mul = op_cost(
+            &Op::Bin { kind: BinKind::Mul, a: 2, ba: Bcast::Full, b: 3, bb: Bcast::Full },
+            &[s, s],
+            s,
+        );
+        let chain_bytes = sig.bytes + silu.bytes + mul.bytes;
+        assert_eq!(fused.bytes, 3 * 4 * s.len() as u64);
+        assert_eq!(chain_bytes, 7 * 4 * s.len() as u64);
+        assert!(fused.bytes < chain_bytes);
+        assert_eq!(fused.flops, sig.flops + silu.flops + mul.flops);
+    }
+
+    #[test]
+    fn gather_charges_index_traffic() {
+        let idx: Arc<[u32]> = Arc::from(vec![0u32, 2, 2]);
+        let c =
+            op_cost(&Op::Gather { a: 0, idx: idx.clone() }, &[Shape::new(4, 8)], Shape::new(3, 8));
+        assert_eq!(c.kind, "gather");
+        assert_eq!(c.bytes, 4 * (2 * 3 * 8 + 3) as u64);
+    }
+
+    #[test]
+    fn leaves_are_free() {
+        let c = op_cost(&Op::Leaf, &[], Shape::new(100, 100));
+        assert_eq!(c, OpCost { kind: "leaf", flops: 0, bytes: 0 });
+    }
+
+    #[test]
+    fn division_costs_more_than_addition() {
+        let s = Shape::new(10, 10);
+        let add = op_cost(
+            &Op::Bin { kind: BinKind::Add, a: 0, ba: Bcast::Full, b: 1, bb: Bcast::Full },
+            &[s, s],
+            s,
+        );
+        let div = op_cost(
+            &Op::Bin { kind: BinKind::Div, a: 0, ba: Bcast::Full, b: 1, bb: Bcast::Full },
+            &[s, s],
+            s,
+        );
+        assert_eq!(div.flops, DIV_FLOPS * add.flops);
+    }
+}

@@ -16,7 +16,9 @@
 //!   closed under differentiation via an analytic `order` parameter.
 //! * **Profiling** — every node execution counts as one launched kernel and
 //!   every live node buffer counts toward device memory, reproducing the
-//!   paper's Fig. 8 metrics on the simulated device.
+//!   paper's Fig. 8 metrics on the simulated device. Each kernel is also
+//!   charged FLOPs and minimum bytes moved ([`cost`]), so arithmetic
+//!   intensity and achieved GFLOP/s are reportable per phase and per op.
 //!
 //! ## Quick example
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod backward;
+pub mod cost;
 pub mod init;
 pub mod kernels;
 pub mod op;
@@ -42,6 +45,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use backward::GradMap;
+pub use cost::{op_cost, OpCost, DIV_FLOPS, TRANSCENDENTAL_FLOPS};
 pub use kernels::elementwise::{BinKind, UnKind};
 pub use kernels::fused::SrbfCfg;
 pub use kernels::reduce::Axis;

@@ -1,4 +1,4 @@
-//! Kernel-launch and memory accounting.
+//! Kernel-launch, memory, and FLOP/byte accounting.
 //!
 //! The paper evaluates its system optimizations by three metrics
 //! (Fig. 8): average iteration time, number of launched kernels, and GPU
@@ -7,8 +7,15 @@
 //! every live node buffer counts toward device memory, including the
 //! first-order gradient graph retained by `create_graph` backward passes
 //! (which is exactly the memory the Force/Stress heads eliminate).
+//!
+//! On top of that it keeps roofline accounting: every kernel is charged
+//! FLOPs and minimum bytes moved (see [`crate::cost`]), both in total and
+//! per op kind, so arithmetic intensity (FLOP/byte) and achieved GFLOP/s
+//! can be reported per phase and per op.
 
-use std::cell::Cell;
+use crate::cost::OpCost;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 
 /// Per-device profiler. Cheap `Cell` counters; the tape is single-threaded
 /// per simulated device.
@@ -18,6 +25,20 @@ pub struct Profiler {
     bytes_live: Cell<u64>,
     bytes_peak: Cell<u64>,
     fused_kernels: Cell<u64>,
+    flops: Cell<u64>,
+    bytes_moved: Cell<u64>,
+    per_op: RefCell<BTreeMap<&'static str, OpTotals>>,
+}
+
+/// Accumulated launches/FLOPs/traffic of one op kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpTotals {
+    /// Kernel launches of this kind.
+    pub count: u64,
+    /// FLOPs executed by this kind.
+    pub flops: u64,
+    /// Bytes moved by this kind.
+    pub bytes: u64,
 }
 
 /// A snapshot of profiler counters, used to report per-iteration deltas.
@@ -31,6 +52,10 @@ pub struct ProfileSnapshot {
     pub bytes_live: u64,
     /// Peak live bytes observed.
     pub bytes_peak: u64,
+    /// Total FLOPs executed.
+    pub flops: u64,
+    /// Total bytes moved (minimum kernel traffic, see [`crate::cost`]).
+    pub bytes_moved: u64,
 }
 
 impl Profiler {
@@ -46,6 +71,18 @@ impl Profiler {
         if fused {
             self.fused_kernels.set(self.fused_kernels.get() + 1);
         }
+    }
+
+    /// Charge one kernel's FLOP/byte cost, in total and to its op kind.
+    #[inline]
+    pub fn record_cost(&self, cost: OpCost) {
+        self.flops.set(self.flops.get() + cost.flops);
+        self.bytes_moved.set(self.bytes_moved.get() + cost.bytes);
+        let mut per_op = self.per_op.borrow_mut();
+        let t = per_op.entry(cost.kind).or_default();
+        t.count += 1;
+        t.flops += cost.flops;
+        t.bytes += cost.bytes;
     }
 
     /// Record allocation of a node buffer.
@@ -71,7 +108,14 @@ impl Profiler {
             fused_kernels: self.fused_kernels.get(),
             bytes_live: self.bytes_live.get(),
             bytes_peak: self.bytes_peak.get(),
+            flops: self.flops.get(),
+            bytes_moved: self.bytes_moved.get(),
         }
+    }
+
+    /// Copy of the per-op-kind accounting table, in sorted kind order.
+    pub fn per_op(&self) -> Vec<(&'static str, OpTotals)> {
+        self.per_op.borrow().iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// Reset the peak-tracking to the current live level (e.g. at the start
@@ -86,14 +130,18 @@ impl Profiler {
         self.fused_kernels.set(0);
         self.bytes_live.set(0);
         self.bytes_peak.set(0);
+        self.flops.set(0);
+        self.bytes_moved.set(0);
+        self.per_op.borrow_mut().clear();
     }
 }
 
 impl ProfileSnapshot {
     /// Change since `earlier`, with mixed semantics by counter class:
     ///
-    /// * **Monotone counters** (`kernels`, `fused_kernels`) are true deltas
-    ///   `self - earlier` — the launches that happened in between.
+    /// * **Monotone counters** (`kernels`, `fused_kernels`, `flops`,
+    ///   `bytes_moved`) are true deltas `self - earlier` — the work that
+    ///   happened in between.
     /// * **Level gauges** (`bytes_live`, `bytes_peak`) are *not* deltas:
     ///   they pass through `self`'s values unchanged, because "live bytes
     ///   now" and "peak bytes observed" are instantaneous levels whose
@@ -105,6 +153,18 @@ impl ProfileSnapshot {
             fused_kernels: self.fused_kernels - earlier.fused_kernels,
             bytes_live: self.bytes_live,
             bytes_peak: self.bytes_peak,
+            flops: self.flops - earlier.flops,
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte (the roofline x-axis); 0 when no
+    /// traffic was recorded.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes_moved == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes_moved as f64
         }
     }
 }
@@ -137,6 +197,29 @@ mod tests {
         assert_eq!(p.snapshot().bytes_peak, 50);
         p.alloc(10);
         assert_eq!(p.snapshot().bytes_peak, 60);
+    }
+
+    #[test]
+    fn reset_peak_resets_to_live_not_zero() {
+        // Contract: after reset_peak the peak equals the *current live*
+        // level — never zero while buffers remain allocated — so that a
+        // per-interval peak is meaningful when taken mid-run.
+        let p = Profiler::new();
+        p.alloc(200);
+        p.free(80);
+        assert_eq!(p.snapshot().bytes_peak, 200);
+        p.reset_peak();
+        assert_eq!(p.snapshot().bytes_peak, 120, "peak re-anchors to live, not zero");
+        assert_eq!(p.snapshot().bytes_live, 120);
+        p.alloc(30);
+        assert_eq!(p.snapshot().bytes_peak, 150, "new peak grows from the live base");
+        // Degenerate case: everything freed, then reset — peak is 0 only
+        // because live is 0.
+        p.free(150);
+        p.reset_peak();
+        assert_eq!(p.snapshot().bytes_peak, 0);
+        p.alloc(5);
+        assert_eq!(p.snapshot().bytes_peak, 5);
     }
 
     #[test]
@@ -178,5 +261,30 @@ mod tests {
         assert_eq!(d.bytes_peak, b.bytes_peak, "peak is a level, not a delta");
         assert_eq!(d.bytes_live, 150);
         assert_eq!(d.bytes_peak, 400);
+    }
+
+    #[test]
+    fn cost_accumulates_in_total_and_per_op() {
+        let p = Profiler::new();
+        p.record_cost(OpCost { kind: "matmul", flops: 100, bytes: 40 });
+        p.record_cost(OpCost { kind: "matmul", flops: 50, bytes: 20 });
+        p.record_cost(OpCost { kind: "un.exp", flops: 8, bytes: 8 });
+        let s = p.snapshot();
+        assert_eq!(s.flops, 158);
+        assert_eq!(s.bytes_moved, 68);
+        let per_op = p.per_op();
+        assert_eq!(per_op.len(), 2);
+        let mm = per_op.iter().find(|(k, _)| *k == "matmul").unwrap().1;
+        assert_eq!(mm, OpTotals { count: 2, flops: 150, bytes: 60 });
+        // since() deltas the monotone FLOP/byte counters.
+        let d = p.snapshot().since(&s);
+        assert_eq!(d.flops, 0);
+        p.record_cost(OpCost { kind: "un.exp", flops: 8, bytes: 8 });
+        assert_eq!(p.snapshot().since(&s).flops, 8);
+        // Intensity = flops / bytes.
+        assert!((s.arithmetic_intensity() - 158.0 / 68.0).abs() < 1e-12);
+        p.reset();
+        assert!(p.per_op().is_empty());
+        assert_eq!(p.snapshot().flops, 0);
     }
 }

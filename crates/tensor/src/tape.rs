@@ -96,6 +96,13 @@ impl Tape {
     pub(crate) fn push(&self, op: Op, value: Tensor, rg: bool) -> Var {
         self.profiler.record_kernel(op.is_fused());
         self.profiler.alloc(value.len() as u64 * 4);
+        {
+            let nodes = self.nodes.borrow();
+            let mut ids = Vec::new();
+            op.inputs(&mut ids);
+            let shapes: Vec<Shape> = ids.iter().map(|&i| nodes[i as usize].value.shape()).collect();
+            self.profiler.record_cost(crate::cost::op_cost(&op, &shapes, value.shape()));
+        }
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len() as VarId;
         nodes.push(Node { op, value, rg });

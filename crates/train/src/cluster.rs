@@ -176,13 +176,19 @@ impl Cluster {
         let mut comp_sum = [0.0f64; 4];
         let mut active = 0usize;
 
-        for idxs in &parts {
+        for (d, idxs) in parts.iter().enumerate() {
+            // Attribute this device's timeline (spans, counters) to its own
+            // rank lane in the flight recorder; devices are time-multiplexed
+            // serially onto this thread, so lanes never interleave.
+            let _lane = fc_telemetry::trace::lane_scope(d as u32);
+            fc_telemetry::trace::counter(fc_telemetry::analysis::RANK_LOAD_COUNTER, loads[d]);
             if idxs.is_empty() {
                 device_compute.push(0.0);
                 buffers.push(vec![0.0; self.store.n_scalars()]);
                 continue;
             }
             active += 1;
+            let _rank_span = fc_telemetry::span("rank_step");
             let start = Instant::now();
             let graphs: Vec<_> = idxs.iter().map(|&i| &global_batch[i].graph).collect();
             let labels: Vec<_> = idxs.iter().map(|&i| &global_batch[i].labels).collect();
@@ -405,15 +411,16 @@ mod tests {
         // own, so assert existence and lower bounds, not exact equality.
         for path in [
             "train_step",
-            "train_step/forward",
-            "train_step/forward/model_forward",
-            "train_step/backward",
+            "train_step/rank_step",
+            "train_step/rank_step/forward",
+            "train_step/rank_step/forward/model_forward",
+            "train_step/rank_step/backward",
             "train_step/allreduce",
             "train_step/optimizer",
         ] {
             assert!(snap.spans.contains_key(path), "missing span {path}: {:?}", snap.spans.keys());
         }
-        assert!(snap.spans["train_step/forward"].count >= 2, "one forward per device");
+        assert!(snap.spans["train_step/rank_step/forward"].count >= 2, "one forward per device");
         // Profiler counters bridged per span.
         assert!(snap.counters["tensor.forward.kernels"] > 0);
         assert!(snap.counters["tensor.backward.kernels"] > 0);
@@ -424,6 +431,84 @@ mod tests {
         assert!(snap.gauges["cluster.load_imbalance"] >= 1.0);
         assert!(snap.gauges["cluster.comm_exposed_s"] >= 0.0);
         assert!(snap.histograms["cluster.rank_load_features"].count >= 2);
+    }
+
+    #[test]
+    fn trace_rank_lanes_are_disjoint_and_complete() {
+        use fc_telemetry::trace;
+        let _serial = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let data = dataset();
+        let samples: Vec<&Sample> = data.samples.iter().collect();
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig { n_devices: 4, ..Default::default() },
+            1e-3,
+        );
+        fc_telemetry::reset();
+        fc_telemetry::set_enabled(true);
+        trace::set_tracing(true);
+        trace::clear();
+        let stats = cluster.train_step(&samples);
+        // Concurrent tests in this binary may also record while the global
+        // switches are on; keep only this thread's buffer (libtest names
+        // each test thread after the test).
+        let mut tsnap = trace::snapshot();
+        tsnap.threads.retain(|t| t.thread_name.contains("trace_rank_lanes"));
+        let text = trace::render_chrome(&tsnap);
+        trace::set_tracing(false);
+        fc_telemetry::set_enabled(false);
+        let events = trace::parse_chrome_trace(&text).expect("trace parses");
+        fc_telemetry::analysis::validate(&events).expect("trace validates");
+
+        // Complete: every one of the 4 ranks has its own lane with a
+        // rank_step span and a load counter.
+        for rank in 0..4u64 {
+            assert!(
+                events.iter().any(|e| e.tid == rank && e.ph == 'B' && e.name == "rank_step"),
+                "rank {rank} has no rank_step span"
+            );
+            assert!(
+                events.iter().any(|e| e.tid == rank
+                    && e.ph == 'C'
+                    && e.name == fc_telemetry::analysis::RANK_LOAD_COUNTER),
+                "rank {rank} has no load counter"
+            );
+        }
+        // Disjoint: devices are serial on one thread, so rank lanes must
+        // not overlap in time — each lane's window starts after the
+        // previous lane's window ended.
+        let window = |rank: u64| {
+            let ts: Vec<f64> = events
+                .iter()
+                .filter(|e| e.tid == rank && (e.ph == 'B' || e.ph == 'E'))
+                .map(|e| e.ts_us)
+                .collect();
+            (ts.iter().cloned().fold(f64::MAX, f64::min), ts.iter().cloned().fold(0.0, f64::max))
+        };
+        for rank in 0..3u64 {
+            let (_, end) = window(rank);
+            let (next_start, _) = window(rank + 1);
+            assert!(
+                end <= next_start,
+                "rank {rank} lane [..{end}] overlaps rank {} lane [{next_start}..]",
+                rank + 1
+            );
+        }
+        // The analyzer's counter-derived imbalance reproduces the
+        // cluster.load_imbalance gauge formula (max/mean of the same
+        // device loads the step exported).
+        let analysis = fc_telemetry::analysis::analyze(&events);
+        assert_eq!(analysis.ranks.len(), 4);
+        let imb = analysis.load_imbalance().expect("load counters recorded");
+        let mean = stats.device_loads.iter().sum::<f64>() / stats.device_loads.len() as f64;
+        let expected = stats.device_loads.iter().cloned().fold(0.0f64, f64::max) / mean;
+        assert!((imb - expected).abs() < 1e-9, "trace imbalance {imb} vs step {expected}");
+        // Busy fractions are well-formed and the busiest rank carries the
+        // largest load (LoadBalance keeps them correlated).
+        for r in &analysis.ranks {
+            assert!(r.busy_frac >= 0.0 && r.busy_frac <= 1.0);
+        }
     }
 
     #[test]

@@ -9,6 +9,11 @@ use fastchgnet::prelude::*;
 use fastchgnet::train::{fit_linear, strong_efficiency, ScalingModel};
 
 fn main() {
+    // Arm the flight recorder: the per-rank lanes of the 4-device steps
+    // below are the Fig. 9 straggler timeline (see EXPERIMENTS.md).
+    fastchgnet::telemetry::set_enabled(true);
+    fastchgnet::telemetry::trace::set_tracing(true);
+
     let data = SynthMPtrj::generate(&DatasetConfig {
         n_structures: 64,
         max_atoms: 12,
@@ -78,4 +83,12 @@ fn main() {
         println!("{p:>7} | {:>8.1} s | {speedup:>10.2}x | {:>9.1}%", t, eff * 100.0);
     }
     println!("\n(paper: 1.65x @ 8, 3.18x @ 16, 5.26x @ 32; efficiencies 82.5/79.5/66%)");
+
+    let dir = std::path::PathBuf::from(
+        std::env::var("FASTCHGNET_REPORTS").unwrap_or_else(|_| "reports".into()),
+    );
+    std::fs::create_dir_all(&dir).ok();
+    let trace_path = dir.join("TRACE_scaling_study.json");
+    fastchgnet::telemetry::trace::write_chrome_trace(&trace_path).expect("write trace");
+    println!("\ntimeline written to {} (inspect with `trace-report`)", trace_path.display());
 }

@@ -18,5 +18,18 @@ cargo test --workspace -q
 echo "== verify harness =="
 cargo run --release -p fc_verify --bin verify -q
 
+echo "== trace smoke test (headline bench, flight recorder on) =="
+cargo build --release -q -p fastchgnet-bench --bin headline
+cargo build --release -q --bin trace-report
+FASTCHGNET_TRACE=1 ./target/release/headline > /dev/null
+./target/release/trace-report --smoke reports/TRACE_headline.json
+
+echo "== straggler timeline (scaling_study example) =="
+cargo run --release -q --example scaling_study > /dev/null
+./target/release/trace-report --smoke reports/TRACE_scaling_study.json
+
+echo "== perf gate =="
+scripts/perf_gate.sh
+
 echo
 echo "all checks passed"

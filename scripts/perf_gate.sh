@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare the timings in reports/BENCH_*.json
+# against the committed baseline (reports/BASELINE_BENCH.json) and fail
+# on regressions beyond tolerance. Policy in DESIGN.md §10.
+#
+# Usage:
+#   scripts/perf_gate.sh            # gate current reports
+#   scripts/perf_gate.sh --bless    # re-seed the baseline from them
+#
+# Environment: FASTCHGNET_PERF_TOL overrides the tolerance factor;
+# FASTCHGNET_PERF_INFLATE multiplies current timings (gate self-test).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=reports/BASELINE_BENCH.json
+shopt -s nullglob
+REPORTS=(reports/BENCH_*.json)
+if [ ${#REPORTS[@]} -eq 0 ]; then
+    echo "perf_gate: no reports/BENCH_*.json found; run scripts/run_all_experiments.sh first" >&2
+    exit 1
+fi
+
+cargo build --release -q --bin perf-gate
+if [ "${1:-}" = "--bless" ]; then
+    ./target/release/perf-gate --bless --baseline "$BASELINE" "${REPORTS[@]}"
+else
+    ./target/release/perf-gate --baseline "$BASELINE" "${REPORTS[@]}"
+fi

@@ -1,0 +1,108 @@
+//! `perf-gate` — compare bench report timings against the committed
+//! baseline, failing on regressions beyond tolerance.
+//!
+//! ```text
+//! perf-gate --baseline reports/BASELINE_BENCH.json reports/BENCH_*.json
+//! perf-gate --bless --baseline reports/BASELINE_BENCH.json reports/BENCH_*.json
+//! ```
+//!
+//! Environment:
+//! * `FASTCHGNET_PERF_TOL` — override the tolerance factor (default ×1.6).
+//! * `FASTCHGNET_PERF_INFLATE` — multiply current timings before
+//!   comparing; used by the gate's own self-test (`x2` must fail).
+//!
+//! Tolerance policy is documented in DESIGN.md §10: only duration keys
+//! gate (`speedup_*`/`fit_*` are derived ratios), sub-millisecond
+//! baselines are skipped, improvements never fail, new keys pass until
+//! blessed.
+
+use fastchgnet::telemetry::gate;
+use std::process::ExitCode;
+
+const USAGE: &str = "perf-gate — perf-regression gate over bench reports
+
+USAGE:
+  perf-gate [--bless] [--tolerance X] --baseline BASELINE.json BENCH.json...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut bless = false;
+    let mut reports: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p),
+                None => return fail("--baseline needs a path"),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = Some(t),
+                None => return fail("--tolerance needs a number"),
+            },
+            "--bless" => bless = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag}")),
+            path => reports.push(path.to_string()),
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        return fail("--baseline is required");
+    };
+    if reports.is_empty() {
+        return fail("no bench reports given");
+    }
+
+    let mut current = Vec::new();
+    for path in &reports {
+        match std::fs::read_to_string(path) {
+            Ok(text) => current.extend(gate::extract_timings(&text)),
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        }
+    }
+    if let Some(inflate) = env_f64("FASTCHGNET_PERF_INFLATE") {
+        eprintln!("perf-gate: inflating current timings x{inflate} (self-test mode)");
+        for e in &mut current {
+            e.seconds *= inflate;
+        }
+    }
+
+    if bless {
+        let text = gate::render_baseline(&current);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            return fail(&format!("cannot write {baseline_path}: {e}"));
+        }
+        println!("perf-gate: blessed {} timing(s) into {baseline_path}", current.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
+    };
+    let Some(baseline) = gate::parse_baseline(&baseline_text) else {
+        return fail(&format!("{baseline_path} is not a perf baseline file"));
+    };
+    let tol =
+        tolerance.or_else(|| env_f64("FASTCHGNET_PERF_TOL")).unwrap_or(gate::DEFAULT_TOLERANCE);
+    let report = gate::compare(&baseline, &current, tol);
+    print!("{}", report.render_text());
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

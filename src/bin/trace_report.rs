@@ -1,0 +1,71 @@
+//! `trace-report` — analyze a Chrome trace recorded by the flight
+//! recorder (`reports/TRACE_*.json`).
+//!
+//! ```text
+//! trace-report reports/TRACE_scaling_study.json          # full report
+//! trace-report --top 20 reports/TRACE_headline.json      # wider op table
+//! trace-report --smoke reports/TRACE_headline.json       # validate only
+//! ```
+//!
+//! The full report prints the critical path, the top-k ops by self-time,
+//! per-rank busy/idle fractions (the Fig. 9 straggler view) with the load
+//! imbalance recomputed from per-rank counters, and the memory high-water
+//! timeline. `--smoke` only checks the trace is structurally sound
+//! (parses, spans balance per track, timestamps monotone) and prints a
+//! one-line summary — the mode `scripts/check.sh` uses.
+
+use fastchgnet::telemetry::{analysis, trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "trace-report — analyze a flight-recorder Chrome trace
+
+USAGE:
+  trace-report [--top N] [--smoke] TRACE.json...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut top_k = 10usize;
+    let mut smoke = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top_k = n,
+                None => return fail("--top needs an integer"),
+            },
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return fail("no trace files given");
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let Some(events) = trace::parse_chrome_trace(&text) else {
+            return fail(&format!("{path}: not a trace produced by the flight recorder"));
+        };
+        match analysis::validate(&events) {
+            Ok(summary) => println!("{path}: {summary}"),
+            Err(e) => return fail(&format!("{path}: invalid trace: {e}")),
+        }
+        if !smoke {
+            print!("{}", analysis::render_text(&analysis::analyze(&events), top_k));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}
