@@ -2,13 +2,22 @@
 //! default sampler vs the Load Balance Sampler, with the coefficient of
 //! variance the paper reports (0.186 → 0.064 on 4 GPUs, mini-batch 32).
 //!
-//! This is a pure sampler experiment — no model execution needed.
+//! The sampler statistics are a pure partitioning experiment, but balance
+//! only pays off in wall-clock when the ranks actually run concurrently —
+//! so a second stage steps a real 4-device cluster at 1/2/4 worker
+//! threads and reports the measured wall time next to the modelled
+//! `sim_time`.
 //!
 //! Run: `cargo run --release -p fastchgnet-bench --bin fig9`
 
-use fc_bench::{emit_bench_report, render_table, reports_dir, start_telemetry, Scale};
+use fc_bench::{emit_bench_report, fmt_secs, render_table, reports_dir, start_telemetry, Scale};
+use fc_core::OptLevel;
 use fc_crystal::stats::mean;
-use fc_train::{device_loads, epoch_batches, load_cov, partition, write_report, SamplerKind};
+use fc_crystal::Sample;
+use fc_train::{
+    device_loads, epoch_batches, load_cov, partition, write_report, Cluster, ClusterConfig,
+    ExecutionMode, SamplerKind,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -77,6 +86,50 @@ fn main() {
     write_report(&path, &tsv).expect("write report");
     println!("per-device series written to {}", path.display());
 
+    // --- measured wall-clock vs worker threads ---------------------------
+    // The load-balanced partition above equalises the *modelled* per-rank
+    // compute; running ranks on worker threads is what converts that into
+    // real time. Same 4-device step, same balanced batch, 1/2/4 threads.
+    let cluster_batch: Vec<&Sample> =
+        data.samples.iter().take(32.min(data.samples.len())).collect();
+    let mut wall_series: Vec<(usize, f64, f64)> = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let mut cluster = Cluster::new(
+            scale.model(OptLevel::Decoupled),
+            3,
+            ClusterConfig {
+                n_devices,
+                sampler: SamplerKind::LoadBalance,
+                execution: ExecutionMode::Threaded(threads),
+                ..Default::default()
+            },
+            1e-3,
+        );
+        cluster.train_step(&cluster_batch); // warm-up
+        let stats = cluster.train_step(&cluster_batch);
+        wall_series.push((threads, stats.wall_time, stats.sim_time));
+    }
+    let wall1 = wall_series[0].1;
+    let thread_rows: Vec<Vec<String>> = wall_series
+        .iter()
+        .map(|&(threads, wall, sim)| {
+            vec![
+                threads.to_string(),
+                fmt_secs(wall),
+                format!("{:.2}x", wall1 / wall.max(1e-12)),
+                fmt_secs(sim),
+            ]
+        })
+        .collect();
+    println!(
+        "\nmeasured 4-device step vs worker threads ({} cores available):",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!(
+        "{}",
+        render_table(&["threads", "wall", "speedup", "sim_time (modelled)"], &thread_rows)
+    );
+
     let mut report = fc_telemetry::RunReport::new("fig9", 99);
     report
         .set_meta("scale", scale.label)
@@ -84,5 +137,9 @@ fn main() {
         .set_meta("mini_batch", mini_batch)
         .set_meta("cov_default", mean(&covs_default))
         .set_meta("cov_balanced", mean(&covs_balanced));
+    for &(threads, wall, _) in &wall_series {
+        report.set_timing(format!("wall_threads{threads}"), wall);
+    }
+    report.set_timing("wall_speedup_threads4", wall1 / wall_series[2].1.max(1e-12));
     println!("telemetry report written to {}", emit_bench_report(&report).display());
 }

@@ -26,6 +26,8 @@ pub use element::Element;
 pub use graph::{Angle, CrystalGraph, ATOM_CUTOFF, BOND_CUTOFF};
 pub use io::{from_poscar, to_poscar};
 pub use lattice::Lattice;
-pub use neighbor::{neighbor_list, Bond};
+pub use neighbor::{
+    neighbor_list, neighbor_list_cells, neighbor_list_exact, Bond, LINKED_CELL_MIN_ATOMS,
+};
 pub use oracle::{evaluate, Labels, EV_PER_A3_TO_GPA, ORACLE_CUTOFF};
 pub use structure::Structure;

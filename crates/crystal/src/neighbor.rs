@@ -20,13 +20,33 @@ pub struct Bond {
     pub vec: [f64; 3],
 }
 
+/// Cells with at least this many atoms use the linked-cell (binned) search;
+/// smaller cells use the exact all-pairs search, whose constant factor wins
+/// when N is tiny. All MPtrj-sized fixtures (≲ 32 atoms) stay on the exact
+/// path, so their bond ordering is unchanged.
+pub const LINKED_CELL_MIN_ATOMS: usize = 48;
+
 /// Build the directed neighbor list of `s` within `cutoff` (Å).
 ///
+/// Dispatches to the linked-cell (binned) search above
+/// [`LINKED_CELL_MIN_ATOMS`] atoms and to the exact all-pairs search below
+/// it. Both return the identical bond list (same bonds, same order, same
+/// floating-point values) — the binned search recomputes every candidate
+/// bond with the exact formula and sorts into the exact path's (i, j,
+/// image) iteration order.
+pub fn neighbor_list(s: &Structure, cutoff: f64) -> Vec<Bond> {
+    if s.n_atoms() >= LINKED_CELL_MIN_ATOMS {
+        neighbor_list_cells(s, cutoff)
+    } else {
+        neighbor_list_exact(s, cutoff)
+    }
+}
+
 /// Exact periodic search: iterates every image cell within the lattice's
 /// [`crate::lattice::Lattice::image_ranges`]. Self-interactions in the home
 /// image are excluded; an atom may bond to its own periodic copies.
-/// Complexity O(N² · images) — ample for MPtrj-sized cells (≲ 200 atoms).
-pub fn neighbor_list(s: &Structure, cutoff: f64) -> Vec<Bond> {
+/// Complexity O(N² · images) — the reference the binned search must match.
+pub fn neighbor_list_exact(s: &Structure, cutoff: f64) -> Vec<Bond> {
     assert!(cutoff > 0.0, "cutoff must be positive");
     let carts = s.cart_coords();
     let [na, nb, nc] = s.lattice.image_ranges(cutoff);
@@ -61,6 +81,109 @@ pub fn neighbor_list(s: &Structure, cutoff: f64) -> Vec<Bond> {
             }
         }
     }
+    bonds
+}
+
+/// Linked-cell (binned) periodic search, O(N · neighbors).
+///
+/// The home cell is carved into fractional bins at least one cutoff thick
+/// along each lattice direction (measured by the perpendicular slab
+/// thickness `h_i = V / area_i`, the same geometry as
+/// [`crate::lattice::Lattice::image_ranges`]). Each atom is bucketed by its
+/// wrapped fractional coordinate; a query then visits only the bins whose
+/// fractional span can hold a point within the cutoff, tracking how often
+/// the raw bin index wraps around the cell to recover the periodic image.
+/// Every candidate pair is re-checked with the *exact* bond formula, so
+/// accepted bonds are bitwise identical to [`neighbor_list_exact`]; a final
+/// sort restores the exact path's (i, j, image) order.
+pub fn neighbor_list_cells(s: &Structure, cutoff: f64) -> Vec<Bond> {
+    assert!(cutoff > 0.0, "cutoff must be positive");
+    let n_at = s.n_atoms();
+    let carts = s.cart_coords();
+    let cutoff2 = cutoff * cutoff;
+
+    // Perpendicular slab thickness per lattice direction.
+    let vol = s.lattice.volume();
+    let mut h = [0.0f64; 3];
+    for (d, hd) in h.iter_mut().enumerate() {
+        let b = s.lattice.m[(d + 1) % 3];
+        let c = s.lattice.m[(d + 2) % 3];
+        let cross =
+            [b[1] * c[2] - b[2] * c[1], b[2] * c[0] - b[0] * c[2], b[0] * c[1] - b[1] * c[0]];
+        let area = (cross[0] * cross[0] + cross[1] * cross[1] + cross[2] * cross[2]).sqrt();
+        *hd = vol / area.max(1e-12);
+    }
+    // Bin counts: bins at least `cutoff` thick (≥ 1 per direction), and the
+    // bin reach needed so every point within `cutoff` of a query is visited:
+    // |Δfrac_d| ≤ cutoff / h_d, hence |Δbin_d| ≤ ⌊cutoff·n_d/h_d⌋ + 1.
+    let mut nbins = [1usize; 3];
+    let mut reach = [1i64; 3];
+    for d in 0..3 {
+        nbins[d] = ((h[d] / cutoff).floor() as usize).max(1);
+        reach[d] = (cutoff * nbins[d] as f64 / h[d]).floor() as i64 + 1;
+    }
+    let flat = |b: [usize; 3]| b[0] + nbins[0] * (b[1] + nbins[1] * b[2]);
+
+    // Bucket atoms by wrapped fractional coordinate; remember the integer
+    // shift so raw periodic images can be reconstructed exactly.
+    let mut shift = vec![[0i64; 3]; n_at];
+    let mut bin_of = vec![[0usize; 3]; n_at];
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); nbins[0] * nbins[1] * nbins[2]];
+    for (a, f) in s.frac_coords.iter().enumerate() {
+        for d in 0..3 {
+            let fl = f[d].floor();
+            shift[a][d] = fl as i64;
+            let w = f[d] - fl;
+            bin_of[a][d] = ((w * nbins[d] as f64) as usize).min(nbins[d] - 1);
+        }
+        cells[flat(bin_of[a])].push(a as u32);
+    }
+
+    let mut bonds = Vec::new();
+    for i in 0..n_at {
+        let bi = bin_of[i];
+        for t0 in bi[0] as i64 - reach[0]..=bi[0] as i64 + reach[0] {
+            let (m0, b0) = (t0.div_euclid(nbins[0] as i64), t0.rem_euclid(nbins[0] as i64));
+            for t1 in bi[1] as i64 - reach[1]..=bi[1] as i64 + reach[1] {
+                let (m1, b1) = (t1.div_euclid(nbins[1] as i64), t1.rem_euclid(nbins[1] as i64));
+                for t2 in bi[2] as i64 - reach[2]..=bi[2] as i64 + reach[2] {
+                    let (m2, b2) = (t2.div_euclid(nbins[2] as i64), t2.rem_euclid(nbins[2] as i64));
+                    for &ju in &cells[flat([b0 as usize, b1 as usize, b2 as usize])] {
+                        let j = ju as usize;
+                        // Raw image from the wrapped-space image m: the
+                        // reference vector is r_j + A@L − r_i with
+                        // A = m + shift_i − shift_j.
+                        let a0 = (m0 + shift[i][0] - shift[j][0]) as i32;
+                        let a1 = (m1 + shift[i][1] - shift[j][1]) as i32;
+                        let a2 = (m2 + shift[i][2] - shift[j][2]) as i32;
+                        if i == j && a0 == 0 && a1 == 0 && a2 == 0 {
+                            continue;
+                        }
+                        // Exact same arithmetic as neighbor_list_exact so
+                        // accepted bonds agree bitwise.
+                        let img = s.lattice.frac_to_cart([a0 as f64, a1 as f64, a2 as f64]);
+                        let v = [
+                            carts[j][0] + img[0] - carts[i][0],
+                            carts[j][1] + img[1] - carts[i][1],
+                            carts[j][2] + img[2] - carts[i][2],
+                        ];
+                        let r2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+                        if r2 <= cutoff2 && r2 > 1e-12 {
+                            bonds.push(Bond {
+                                i: i as u32,
+                                j: j as u32,
+                                image: [a0, a1, a2],
+                                r: r2.sqrt(),
+                                vec: v,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Restore the exact path's iteration order (i, then j, then image).
+    bonds.sort_by_key(|x| (x.i, x.j, x.image));
     bonds
 }
 
@@ -139,5 +262,55 @@ mod tests {
         let n2 = neighbor_list(&s, 4.5).len();
         let n3 = neighbor_list(&s, 6.0).len();
         assert!(n1 < n2 && n2 < n3);
+    }
+
+    fn assert_bond_lists_identical(cells: &[Bond], exact: &[Bond], ctx: &str) {
+        assert_eq!(cells.len(), exact.len(), "{ctx}: bond counts differ");
+        for (c, e) in cells.iter().zip(exact) {
+            assert_eq!(c.i, e.i, "{ctx}");
+            assert_eq!(c.j, e.j, "{ctx}");
+            assert_eq!(c.image, e.image, "{ctx}");
+            assert_eq!(c.r.to_bits(), e.r.to_bits(), "{ctx}: r not bitwise equal");
+            for d in 0..3 {
+                assert_eq!(c.vec[d].to_bits(), e.vec[d].to_bits(), "{ctx}: vec not bitwise equal");
+            }
+        }
+    }
+
+    #[test]
+    fn linked_cell_matches_exact_on_supercell() {
+        // 4x4x4 supercell of a two-atom rocksalt-ish motif: 128 atoms,
+        // several bins per direction — the real linked-cell regime.
+        let unit = Structure::new(
+            Lattice::cubic(4.2),
+            vec![Element::new(3), Element::new(8)],
+            vec![[0.0; 3], [0.5, 0.5, 0.5]],
+        );
+        let s = unit.supercell(4, 4, 4);
+        assert!(s.n_atoms() >= LINKED_CELL_MIN_ATOMS);
+        for cutoff in [3.7, 5.0, 6.5] {
+            let cells = neighbor_list_cells(&s, cutoff);
+            let exact = neighbor_list_exact(&s, cutoff);
+            assert!(!cells.is_empty());
+            assert_bond_lists_identical(&cells, &exact, &format!("cutoff {cutoff}"));
+            // And the dispatching front door picks the binned path's result.
+            assert_eq!(neighbor_list(&s, cutoff).len(), exact.len());
+        }
+    }
+
+    #[test]
+    fn linked_cell_matches_exact_when_cell_smaller_than_cutoff() {
+        // Degenerate regime: one bin per direction, images found via bin
+        // wrap-around — must still agree with the exact image loop.
+        let s = Structure::new(
+            Lattice::new([3.0, 0.4, 0.0], [0.0, 2.8, 0.5], [0.6, 0.0, 3.2]),
+            vec![Element::new(3), Element::new(8), Element::new(26)],
+            vec![[0.05, 0.1, 0.9], [0.45, 0.5, 0.55], [0.8, 0.2, 0.35]],
+        );
+        for cutoff in [4.0, 6.0, 8.0] {
+            let cells = neighbor_list_cells(&s, cutoff);
+            let exact = neighbor_list_exact(&s, cutoff);
+            assert_bond_lists_identical(&cells, &exact, &format!("small cell, cutoff {cutoff}"));
+        }
     }
 }

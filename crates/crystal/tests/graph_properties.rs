@@ -1,7 +1,10 @@
 //! Property-based tests of the crystal substrate: neighbor lists, graphs
 //! and the oracle, fuzzed over random cells.
 
-use fc_crystal::{evaluate, neighbor_list, CrystalGraph, Element, GraphBatch, Lattice, Structure};
+use fc_crystal::{
+    evaluate, neighbor_list, neighbor_list_cells, neighbor_list_exact, CrystalGraph, Element,
+    GraphBatch, Lattice, Structure,
+};
 use proptest::prelude::*;
 
 fn random_cell() -> impl Strategy<Value = Structure> {
@@ -39,6 +42,42 @@ proptest! {
                     && (o.r - b.r).abs() < 1e-9
             });
             prop_assert!(rev, "missing reverse bond for {b:?}");
+        }
+    }
+
+    #[test]
+    fn linked_cell_bond_set_equals_exact_reference(
+        a in 2.5f64..6.0,
+        shear_ab in -0.2f64..0.2,
+        shear_bc in -0.2f64..0.2,
+        shear_ca in -0.2f64..0.2,
+        stretch_b in 0.7f64..1.4,
+        stretch_c in 0.7f64..1.4,
+        seeds in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..24),
+        cutoff in 2.5f64..6.5,
+    ) {
+        // Random skewed lattices and random site sets: the linked-cell
+        // search must reproduce the exact reference's bond set verbatim —
+        // same bonds, same order, bitwise-equal geometry.
+        let lat = Lattice::new(
+            [a, shear_ab * a, 0.0],
+            [0.0, stretch_b * a, shear_bc * a],
+            [shear_ca * a, 0.0, stretch_c * a],
+        );
+        let species = vec![Element::new(14); seeds.len()];
+        let coords: Vec<[f64; 3]> = seeds.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let s = Structure::new(lat, species, coords);
+        let cells = neighbor_list_cells(&s, cutoff);
+        let exact = neighbor_list_exact(&s, cutoff);
+        prop_assert_eq!(cells.len(), exact.len(), "bond counts differ");
+        for (c, e) in cells.iter().zip(&exact) {
+            prop_assert_eq!(c.i, e.i);
+            prop_assert_eq!(c.j, e.j);
+            prop_assert_eq!(c.image, e.image);
+            prop_assert_eq!(c.r.to_bits(), e.r.to_bits(), "r not bitwise equal");
+            for d in 0..3 {
+                prop_assert_eq!(c.vec[d].to_bits(), e.vec[d].to_bits(), "vec not bitwise equal");
+            }
         }
     }
 

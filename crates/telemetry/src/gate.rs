@@ -13,8 +13,9 @@
 //!   for shared-machine noise, strict enough that a 2× regression —
 //!   the canonical "accidentally quadratic / dropped an optimization"
 //!   failure — always trips.
-//! * Only *duration* keys gate. `speedup_*` and `fit_*` keys are derived
-//!   ratios/fit parameters, not durations ([`is_gated_key`]).
+//! * Only *duration* keys gate. Keys containing `speedup` and `fit_*`
+//!   keys are derived ratios/fit parameters, not durations
+//!   ([`is_gated_key`]).
 //! * Baselines under [`MIN_GATED_SECONDS`] are skipped: sub-millisecond
 //!   timings are dominated by timer and scheduler noise.
 //! * New keys (no baseline) pass and are reported as `new`; baseline keys
@@ -47,10 +48,12 @@ pub struct BaselineEntry {
     pub seconds: f64,
 }
 
-/// Should this timing key gate? Derived ratios (`speedup_*`) and fit
-/// parameters (`fit_*`) are not durations and are excluded.
+/// Should this timing key gate? Derived ratios (`speedup_*`,
+/// `*_speedup*` such as the headline's `wall_speedup_4rank`) and fit
+/// parameters (`fit_*`) are not durations and are excluded — a ratio
+/// *growing* is usually an improvement, which must never trip the gate.
 pub fn is_gated_key(key: &str) -> bool {
-    !key.starts_with("speedup_") && !key.starts_with("fit_")
+    !key.contains("speedup") && !key.starts_with("fit_")
 }
 
 /// Pull every `timing` event out of one bench report's JSONL stream.
@@ -294,8 +297,10 @@ mod tests {
     #[test]
     fn ratio_and_fit_keys_are_skipped() {
         assert!(!is_gated_key("speedup_total"));
+        assert!(!is_gated_key("wall_speedup_4rank"));
         assert!(!is_gated_key("fit_t_fixed"));
         assert!(is_gated_key("iter_fused"));
+        assert!(is_gated_key("wall_serial_4rank"));
         let base = vec![entry("headline", "speedup_total", 1.0)];
         let cur = vec![entry("headline", "speedup_total", 10.0)];
         let report = compare(&base, &cur, DEFAULT_TOLERANCE);

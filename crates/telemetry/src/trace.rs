@@ -348,38 +348,52 @@ pub fn render_chrome(snap: &TraceSnapshot) -> String {
             json_str(name)
         ));
     }
+    // Event lines, globally time-sorted. With threaded rank execution a
+    // lane (`tid`) collects events from more than one OS thread over the
+    // run — per-thread buffers are individually ordered but their
+    // concatenation is not, and the trace contract (`analysis::validate`)
+    // requires non-decreasing timestamps per track. The stable sort keeps
+    // same-thread same-timestamp pairs (e.g. a zero-width B/E) in emission
+    // order; cross-thread events on one lane never overlap in a span
+    // sense, because a rank is worked by one thread at a time.
+    let mut timed: Vec<(u64, String)> = Vec::new();
     for t in &snap.threads {
         for ev in &t.events {
             let tid = event_tid(ev, t.index);
             let ts = ev.t_ns as f64 / 1e3; // Chrome wants microseconds.
             let name = json_str(&ev.name);
-            lines.push(match &ev.kind {
-                EventKind::Begin => {
-                    format!(
-                        "{{\"name\":{name},\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{tid}}}",
-                        json_f64(ts)
-                    )
-                }
-                EventKind::End => {
-                    format!(
-                        "{{\"name\":{name},\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{tid}}}",
-                        json_f64(ts)
-                    )
-                }
-                EventKind::Instant => format!(
-                    "{{\"name\":{name},\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+            timed.push((
+                ev.t_ns,
+                match &ev.kind {
+                    EventKind::Begin => {
+                        format!(
+                            "{{\"name\":{name},\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{tid}}}",
+                            json_f64(ts)
+                        )
+                    }
+                    EventKind::End => {
+                        format!(
+                            "{{\"name\":{name},\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{tid}}}",
+                            json_f64(ts)
+                        )
+                    }
+                    EventKind::Instant => format!(
+                        "{{\"name\":{name},\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
                      \"s\":\"t\"}}",
-                    json_f64(ts)
-                ),
-                EventKind::Counter(v) => format!(
-                    "{{\"name\":{name},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                        json_f64(ts)
+                    ),
+                    EventKind::Counter(v) => format!(
+                        "{{\"name\":{name},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
                      \"args\":{{\"v\":{}}}}}",
-                    json_f64(ts),
-                    json_f64(*v)
-                ),
-            });
+                        json_f64(ts),
+                        json_f64(*v)
+                    ),
+                },
+            ));
         }
     }
+    timed.sort_by_key(|(t_ns, _)| *t_ns);
+    lines.extend(timed.into_iter().map(|(_, line)| line));
     out.push_str(&lines.join(",\n"));
     out.push_str("\n],\"displayTimeUnit\":\"ms\",\"dropped_events\":");
     out.push_str(&snap.dropped().to_string());

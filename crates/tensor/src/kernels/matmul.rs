@@ -85,6 +85,47 @@ pub fn block_diag_matmul(a: &Tensor, b: &Tensor, seg: &[u32]) -> Tensor {
     Tensor::from_vec(crate::shape::Shape::new(a.rows(), 3), out)
 }
 
+/// Transposed-B variant of [`block_diag_matmul`]: each row `r` of `a` is
+/// multiplied by the *transpose* of block `seg[r]`, reading the block
+/// column-wise in place — no `(3G,3)` transpose is ever materialised.
+/// The three products per output element are accumulated in the same
+/// left-to-right order as [`block_diag_matmul`] on a pre-transposed
+/// operand, so the results are bitwise identical.
+///
+/// # Panics
+/// Panics when shapes are inconsistent with the `(N,3) x (3G,3)` layout or
+/// when a segment id is out of range.
+pub fn block_diag_matmul_tb(a: &Tensor, b: &Tensor, seg: &[u32]) -> Tensor {
+    assert_eq!(a.cols(), 3, "block_diag_matmul_tb expects (N,3) lhs, got {}", a.shape());
+    assert_eq!(b.cols(), 3, "block_diag_matmul_tb expects (3G,3) rhs, got {}", b.shape());
+    assert_eq!(b.rows() % 3, 0, "rhs rows must be a multiple of 3");
+    assert_eq!(seg.len(), a.rows(), "segment array must have one entry per lhs row");
+    let n_blocks = b.rows() / 3;
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; a.rows() * 3];
+
+    let row_kernel = |r: usize, out_row: &mut [f32]| {
+        let g = seg[r] as usize;
+        assert!(g < n_blocks, "segment id {g} out of range ({n_blocks} blocks)");
+        let blk = &bd[g * 9..g * 9 + 9];
+        let row = &ad[r * 3..r * 3 + 3];
+        for j in 0..3 {
+            // (Bᵀ)[k][j] = B[j][k] = blk[3j + k].
+            out_row[j] = row[0] * blk[3 * j] + row[1] * blk[3 * j + 1] + row[2] * blk[3 * j + 2];
+        }
+    };
+
+    if a.rows() * 3 >= PAR_THRESHOLD {
+        out.par_chunks_mut(3).enumerate().for_each(|(r, row)| row_kernel(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(3).enumerate() {
+            row_kernel(r, row);
+        }
+    }
+    Tensor::from_vec(crate::shape::Shape::new(a.rows(), 3), out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +174,37 @@ mod tests {
         let out = block_diag_matmul(&a, &b, &[0, 1]);
         assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(out.row(1), &[8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn block_diag_tb_matches_materialised_transpose() {
+        // Two asymmetric blocks; the in-place transposed kernel must agree
+        // bitwise with transposing the blocks up front.
+        let b = Tensor::from_rows(&[
+            vec![0.5, 1.0, -1.0],
+            vec![2.0, 0.25, 0.5],
+            vec![-0.5, 1.5, 1.0],
+            vec![3.0, -2.0, 0.125],
+            vec![0.0, 1.0, -4.0],
+            vec![2.5, 0.75, -0.25],
+        ]);
+        let mut bt = Tensor::zeros(6, 3);
+        for g in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    *bt.at_mut(g * 3 + i, j) = b.at(g * 3 + j, i);
+                }
+            }
+        }
+        let a = Tensor::from_rows(&[
+            vec![1.0, -1.0, 2.0],
+            vec![0.0, 3.0, 1.0],
+            vec![-0.125, 0.5, 0.75],
+        ]);
+        let seg = [0u32, 1, 0];
+        let out_tb = block_diag_matmul_tb(&a, &b, &seg);
+        let out_ref = block_diag_matmul(&a, &bt, &seg);
+        assert_eq!(out_tb.data(), out_ref.data(), "tb kernel diverges from transpose");
     }
 
     #[test]

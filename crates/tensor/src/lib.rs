@@ -51,7 +51,7 @@ pub use kernels::fused::SrbfCfg;
 pub use kernels::reduce::Axis;
 pub use op::Var;
 pub use param::{ParamEntry, ParamId, ParamStore};
-pub use profiler::{ProfileSnapshot, Profiler};
+pub use profiler::{OpTotals, ProfileSnapshot, Profiler};
 pub use shape::{Bcast, Shape};
 pub use tape::Tape;
 pub use tensor::Tensor;

@@ -118,6 +118,31 @@ impl Profiler {
         self.per_op.borrow().iter().map(|(&k, &v)| (k, v)).collect()
     }
 
+    /// Fold another profiler's counters into this one. This is the
+    /// cross-thread aggregation path: each cluster rank runs its own tape
+    /// (and therefore its own profiler) on its own worker thread, and the
+    /// coordinator absorbs them after the join to get cluster-wide kernel,
+    /// FLOP, and traffic totals. Monotone counters add; the byte *levels*
+    /// add too (`bytes_live` of a fleet is the sum of per-device live
+    /// bytes), which makes the absorbed `bytes_peak` an upper bound on the
+    /// true simultaneous peak — per-device peaks need not coincide in time.
+    pub fn absorb(&self, other: &Profiler) {
+        let s = other.snapshot();
+        self.kernels.set(self.kernels.get() + s.kernels);
+        self.fused_kernels.set(self.fused_kernels.get() + s.fused_kernels);
+        self.flops.set(self.flops.get() + s.flops);
+        self.bytes_moved.set(self.bytes_moved.get() + s.bytes_moved);
+        self.bytes_live.set(self.bytes_live.get() + s.bytes_live);
+        self.bytes_peak.set(self.bytes_peak.get() + s.bytes_peak);
+        let mut per_op = self.per_op.borrow_mut();
+        for (kind, totals) in other.per_op() {
+            let t = per_op.entry(kind).or_default();
+            t.count += totals.count;
+            t.flops += totals.flops;
+            t.bytes += totals.bytes;
+        }
+    }
+
     /// Reset the peak-tracking to the current live level (e.g. at the start
     /// of an iteration) without touching kernel counts.
     pub fn reset_peak(&self) {
@@ -261,6 +286,41 @@ mod tests {
         assert_eq!(d.bytes_peak, b.bytes_peak, "peak is a level, not a delta");
         assert_eq!(d.bytes_live, 150);
         assert_eq!(d.bytes_peak, 400);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_per_op_tables() {
+        let agg = Profiler::new();
+        agg.record_kernel(false);
+        agg.record_cost(OpCost { kind: "matmul", flops: 10, bytes: 4 });
+        agg.alloc(100);
+
+        // Two "rank" profilers, as the threaded cluster produces — one per
+        // worker thread, merged on the coordinator after the join.
+        let r0 = Profiler::new();
+        r0.record_kernel(true);
+        r0.record_cost(OpCost { kind: "matmul", flops: 5, bytes: 2 });
+        r0.alloc(30);
+        let r1 = Profiler::new();
+        r1.record_kernel(false);
+        r1.record_cost(OpCost { kind: "un.exp", flops: 8, bytes: 8 });
+        r1.alloc(70);
+        r1.free(50);
+
+        agg.absorb(&r0);
+        agg.absorb(&r1);
+        let s = agg.snapshot();
+        assert_eq!(s.kernels, 3);
+        assert_eq!(s.fused_kernels, 1);
+        assert_eq!(s.flops, 23);
+        assert_eq!(s.bytes_moved, 14);
+        assert_eq!(s.bytes_live, 100 + 30 + 20, "fleet live = sum of device live");
+        assert_eq!(s.bytes_peak, 100 + 30 + 70, "absorbed peak is the sum of device peaks");
+        let per_op = agg.per_op();
+        let mm = per_op.iter().find(|(k, _)| *k == "matmul").unwrap().1;
+        assert_eq!(mm, OpTotals { count: 2, flops: 15, bytes: 6 });
+        let ex = per_op.iter().find(|(k, _)| *k == "un.exp").unwrap().1;
+        assert_eq!(ex, OpTotals { count: 1, flops: 8, bytes: 8 });
     }
 
     #[test]

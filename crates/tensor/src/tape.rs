@@ -438,9 +438,15 @@ impl Tape {
     pub fn block_diag_matmul(&self, a: Var, b: Var, seg: Arc<[u32]>, trans_b: bool) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            let bt = &nodes[b.0 as usize].value;
-            let eff = if trans_b { transpose_blocks(bt) } else { bt.clone() };
-            mk::block_diag_matmul(&nodes[a.0 as usize].value, &eff, &seg)
+            let av = &nodes[a.0 as usize].value;
+            let bv = &nodes[b.0 as usize].value;
+            // The transposed path reads blocks column-wise in place — no
+            // materialised transpose, no clone of B.
+            if trans_b {
+                mk::block_diag_matmul_tb(av, bv, &seg)
+            } else {
+                mk::block_diag_matmul(av, bv, &seg)
+            }
         };
         let rg = self.rg_of(a) || self.rg_of(b);
         self.push(Op::BlockDiagMm { a: a.0, b: b.0, seg, trans_b }, value, rg)
@@ -519,21 +525,6 @@ impl Tape {
         let xw = self.matmul(x, w);
         self.add(xw, b)
     }
-}
-
-/// Transpose each 3x3 block of a stacked `(3G, 3)` matrix.
-fn transpose_blocks(b: &Tensor) -> Tensor {
-    assert_eq!(b.cols(), 3);
-    assert_eq!(b.rows() % 3, 0);
-    let mut out = Tensor::zeros(b.rows(), 3);
-    for g in 0..b.rows() / 3 {
-        for i in 0..3 {
-            for j in 0..3 {
-                *out.at_mut(g * 3 + i, j) = b.at(g * 3 + j, i);
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -28,9 +28,9 @@ pub mod scaling;
 pub mod sched;
 pub mod trainer;
 
-pub use allreduce::{ring_all_reduce, CommModel};
+pub use allreduce::{ring_all_reduce, tree_all_reduce, tree_all_reduce_chunked, CommModel};
 pub use checkpoint::{load_checkpoint, save_checkpoint, write_report};
-pub use cluster::{Cluster, ClusterConfig, StepStats};
+pub use cluster::{Cluster, ClusterConfig, ExecutionMode, StepStats};
 pub use dataloader::{epoch_batches, Prefetcher};
 pub use loss::{composite_loss, LossParts, LossWeights};
 pub use metrics::{evaluate, evaluate_with_scatter, r2, EvalMetrics, ScatterData};

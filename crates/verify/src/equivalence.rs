@@ -14,6 +14,9 @@
 //!   simulated ring all-reduce must be bitwise deterministic (fixed
 //!   reduction order), so repeated N-device steps from the same state
 //!   produce bit-identical parameters.
+//! * **Threaded vs serial rank execution** — running ranks on worker
+//!   threads (with the chunked tree all-reduce) must be bit-identical
+//!   to the serial schedule, for any worker count.
 
 use crate::physics::CheckResult;
 use fc_core::{compute_basis, Chgnet, ModelConfig, OptLevel};
@@ -21,7 +24,7 @@ use fc_crystal::{
     CrystalGraph, DatasetConfig, Element, GraphBatch, Lattice, Sample, Structure, SynthMPtrj,
 };
 use fc_tensor::{ParamStore, Tape, Tensor};
-use fc_train::{ring_all_reduce, Cluster, ClusterConfig};
+use fc_train::{ring_all_reduce, tree_all_reduce_chunked, Cluster, ClusterConfig, ExecutionMode};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Max absolute element difference between two equal-shape tensors.
@@ -289,6 +292,98 @@ pub fn check_cluster_determinism(n_devices: usize) -> CheckResult {
     }
 }
 
+/// Threaded rank execution vs the serial path: the same cluster seed
+/// stepped once per execution mode must end with bit-identical
+/// parameters. Rank work is independent (per-rank replicas, own tapes)
+/// and both modes combine gradients through the fixed-order tree
+/// all-reduce, so worker threads may not leak scheduling into f32.
+/// `max_err` counts mismatching scalars; the tolerance is zero.
+pub fn check_threaded_vs_serial_bitwise(n_devices: usize) -> CheckResult {
+    let data = cluster_dataset(47);
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let step_with = |execution: ExecutionMode| {
+        let mut c = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            13,
+            ClusterConfig { n_devices, execution, ..Default::default() },
+            CLUSTER_LR as f32,
+        );
+        c.train_step(&samples);
+        c
+    };
+    let serial = step_with(ExecutionMode::Serial);
+    let mut mismatches = 0u64;
+    let mut detail = String::from("bit-identical across Serial/Threaded(1)/Threaded(n)");
+    for threads in [1usize, n_devices] {
+        let threaded = step_with(ExecutionMode::Threaded(threads));
+        for (id, es) in serial.store.iter() {
+            let et = threaded.store.entry(id);
+            for (k, (x, y)) in es.value.data().iter().zip(et.value.data()).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    if mismatches == 0 {
+                        detail = format!(
+                            "first mismatch: Threaded({threads}) param '{}' element {k}",
+                            es.name
+                        );
+                    }
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    CheckResult {
+        name: format!("cluster_threaded_vs_serial_{n_devices}_devices"),
+        max_err: mismatches as f64,
+        tol: 0.0,
+        detail,
+    }
+}
+
+/// Bitwise determinism of the chunked tree all-reduce across worker
+/// counts: the per-element reduction order is fixed by the gap-doubling
+/// tree, so 1, 2 and `n` chunk workers must agree bit-for-bit, and all
+/// ranks must broadcast the same buffer.
+pub fn check_tree_allreduce_determinism(n_ranks: usize, len: usize) -> CheckResult {
+    let mut rng = StdRng::seed_from_u64(23);
+    let buffers: Vec<Vec<f32>> =
+        (0..n_ranks).map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let mut reference = buffers.clone();
+    tree_all_reduce_chunked(&mut reference, 1);
+
+    let mut mismatches = 0u64;
+    let mut detail = String::from("bit-identical across 1/2/n chunk workers");
+    for workers in [2usize, n_ranks.max(2)] {
+        let mut cur = buffers.clone();
+        tree_all_reduce_chunked(&mut cur, workers);
+        for (r, (br, bc)) in reference.iter().zip(&cur).enumerate() {
+            for (k, (x, y)) in br.iter().zip(bc).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    if mismatches == 0 {
+                        detail = format!("{workers} workers: rank {r} element {k} diverges");
+                    }
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    for (r, br) in reference.iter().enumerate().skip(1) {
+        for (k, (x, y)) in reference[0].iter().zip(br).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                if mismatches == 0 {
+                    detail = format!("rank 0 vs rank {r} diverge at element {k}");
+                }
+                mismatches += 1;
+            }
+        }
+    }
+    CheckResult {
+        name: "tree_allreduce_determinism".into(),
+        max_err: mismatches as f64,
+        tol: 0.0,
+        detail,
+    }
+}
+
 /// Bitwise determinism of the ring all-reduce itself: reducing cloned
 /// buffer sets twice must produce bit-identical results on every rank.
 pub fn check_allreduce_determinism(n_ranks: usize, len: usize) -> CheckResult {
@@ -342,6 +437,8 @@ pub fn run_suite(seed: u64) -> Vec<CheckResult> {
     ];
     out.extend(check_cluster_one_vs_n(4));
     out.push(check_cluster_determinism(4));
+    out.push(check_threaded_vs_serial_bitwise(4));
     out.push(check_allreduce_determinism(4, 257));
+    out.push(check_tree_allreduce_determinism(4, 257));
     out
 }

@@ -50,6 +50,45 @@ fn main() {
         }
     }
 
+    // --- threaded rank execution: measured wall vs worker threads -------
+    // The table above is the *modelled* story (sim_time). Running the same
+    // 4-device balanced step on 1/2/4 worker threads shows how much of it
+    // the host actually realises in wall-clock (on one core: none — the
+    // threads time-slice; on >=4 cores the measured speedup approaches the
+    // modelled one).
+    println!("\nthreaded 4-device steps (load-balance sampler, 32-sample batch):\n");
+    println!("threads | wall (measured) | speedup | step (sim, modelled)");
+    let batch32: Vec<&Sample> = samples.iter().take(32).copied().collect();
+    let mut wall1 = 0.0f64;
+    for &threads in &[1usize, 2, 4] {
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            3,
+            ClusterConfig {
+                n_devices: 4,
+                sampler: SamplerKind::LoadBalance,
+                execution: ExecutionMode::Threaded(threads),
+                ..Default::default()
+            },
+            1e-3,
+        );
+        cluster.train_step(&batch32); // warm-up
+        let stats = cluster.train_step(&batch32);
+        if threads == 1 {
+            wall1 = stats.wall_time;
+        }
+        println!(
+            "{threads:>7} | {:>12.4} s | {:>6.2}x | {:>8.3} s",
+            stats.wall_time,
+            wall1 / stats.wall_time.max(1e-12),
+            stats.sim_time
+        );
+    }
+    println!(
+        "({} cores available on this host)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
     // --- calibrate and project to the paper's 4-32 GPUs -----------------
     println!("\ncalibrating the analytic model from measured step times ...");
     let mut cluster = Cluster::new(

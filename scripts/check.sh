@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== threaded-cluster equivalence smoke (1 vs N worker threads, release) =="
+cargo test --release -q -p fastchgnet-train threaded_step_matches_serial_bitwise
+
 echo "== verify harness =="
 cargo run --release -p fc_verify --bin verify -q
 

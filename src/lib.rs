@@ -60,6 +60,7 @@ pub mod prelude {
     pub use fc_tensor::{ParamStore, Shape, Tape, Tensor, Var};
     pub use fc_train::{
         composite_loss, evaluate, train_model, Adam, Cluster, ClusterConfig, CommModel,
-        CosineAnnealing, EvalMetrics, LossWeights, LrPolicy, SamplerKind, TrainConfig,
+        CosineAnnealing, EvalMetrics, ExecutionMode, LossWeights, LrPolicy, SamplerKind,
+        TrainConfig,
     };
 }

@@ -37,12 +37,13 @@ fn short_training_run_improves_all_properties_weighted() {
         ..Default::default()
     };
     let (cluster, report) = fastchgnet::train::train_model(&data, &cfg);
-    // At unit-test scale, assert the optimiser makes progress on its own
-    // objective; validation improvement is demonstrated by the table1 /
-    // fig6 benchmark binaries at larger scale.
-    let first = report.epochs.first().unwrap().train_loss;
-    let last = report.epochs.last().unwrap().train_loss;
-    assert!(last < first, "train loss did not improve: {first} -> {last}");
+    // At unit-test scale, assert the optimiser makes progress on a metric
+    // computed on *fixed* data: the weighted validation score. Mean
+    // per-epoch train losses are NOT comparable across epochs — each epoch
+    // reshuffles the batches, and the per-device force/stress components
+    // are means over those groupings, so `train_loss` moves with batch
+    // composition even at lr → 0 (this is why the old
+    // `last_train < first_train` assertion flapped since the seed commit).
     let w = LossWeights::default();
     let score = |m: &EvalMetrics| {
         w.energy as f64 * m.e_mae
@@ -50,7 +51,13 @@ fn short_training_run_improves_all_properties_weighted() {
             + w.stress as f64 * m.s_mae
             + w.magmom as f64 * m.m_mae
     };
-    assert!(score(&report.epochs.last().unwrap().val).is_finite());
+    let first = score(&report.epochs.first().unwrap().val);
+    let last = score(&report.epochs.last().unwrap().val);
+    assert!(first.is_finite() && last.is_finite());
+    assert!(last < first, "weighted val score did not improve: {first} -> {last}");
+    for e in &report.epochs {
+        assert!(e.train_loss.is_finite(), "non-finite train loss at epoch {}", e.epoch);
+    }
     // Test-set evaluation works on the trained model.
     let test = data.test_samples();
     let m = evaluate(&cluster.model, &cluster.store, &test, 4);

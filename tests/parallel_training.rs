@@ -4,7 +4,7 @@
 use fastchgnet::prelude::*;
 use fastchgnet::train::{
     device_loads, epoch_batches, load_cov, partition, ring_all_reduce, strong_efficiency,
-    ScalingModel,
+    tree_all_reduce, ExecutionMode, ScalingModel,
 };
 
 fn dataset() -> SynthMPtrj {
@@ -32,6 +32,68 @@ fn cluster_training_is_deterministic() {
     for (x, y) in a.iter().zip(&b) {
         assert!(x.approx_eq(y, 0.0), "nondeterministic training");
     }
+}
+
+#[test]
+fn threaded_cluster_step_is_bitwise_deterministic_under_stress() {
+    // The tentpole determinism guarantee under scheduler stress: 50 repeats
+    // of a threaded cluster step, across worker-thread counts
+    // {1, 2, 4, ranks}, must land on bitwise-identical post-step
+    // parameters every single run. Rank work is independent and the tree
+    // all-reduce order is fixed, so no interleaving may leak into f32.
+    const RANKS: usize = 4;
+    let data = SynthMPtrj::generate(&DatasetConfig {
+        n_structures: 8,
+        max_atoms: 6,
+        ..Default::default()
+    });
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let step_with = |execution: ExecutionMode| {
+        let mut cluster = Cluster::new(
+            ModelConfig::tiny(OptLevel::Decoupled),
+            11,
+            ClusterConfig { n_devices: RANKS, execution, ..Default::default() },
+            1e-3,
+        );
+        cluster.train_step(&samples);
+        cluster.store.iter().map(|(_, e)| e.value.clone()).collect::<Vec<_>>()
+    };
+    let reference = step_with(ExecutionMode::Serial);
+    for run in 0..50 {
+        let threads = [1usize, 2, 4, RANKS][run % 4];
+        let got = step_with(ExecutionMode::Threaded(threads));
+        for (r, g) in reference.iter().zip(&got) {
+            assert_eq!(r.rows(), g.rows());
+            for (x, y) in r.data().iter().zip(g.data()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "run {run} ({threads} threads): {x} vs {y} — threading leaked into params"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_allreduce_large_payload_matches_ring() {
+    // Gradient-sized payload: the deterministic tree and the ring must
+    // agree to f32 reduction tolerance, and the tree must be exactly
+    // self-consistent across repeats.
+    let n = 64_000;
+    let mk = || -> Vec<Vec<f32>> {
+        (0..8).map(|d| (0..n).map(|i| ((d * 7 + i) % 13) as f32 * 0.1).collect()).collect()
+    };
+    let mut ring = mk();
+    ring_all_reduce(&mut ring);
+    let mut tree = mk();
+    tree_all_reduce(&mut tree);
+    for (r, t) in ring[0].iter().zip(&tree[0]) {
+        assert!((r - t).abs() < 1e-3, "ring {r} vs tree {t}");
+    }
+    let mut tree2 = mk();
+    tree_all_reduce(&mut tree2);
+    assert_eq!(tree[0], tree2[0], "tree all-reduce not reproducible");
 }
 
 #[test]
