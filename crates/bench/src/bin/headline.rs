@@ -120,6 +120,62 @@ fn main() {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
 
+    // Stage 1c: memory-planner steady state. One tape is reused across
+    // iterations so after a 2-step warm-up the buffer pool serves every
+    // tape/grad allocation; report steady-state allocator pressure
+    // (`allocs_per_step` = pool misses per iteration, ~0), the pool hit
+    // rate, and the planner's per-iteration peak live bytes.
+    println!("measuring memory-planner steady state ...");
+    let (allocs_per_step, pool_hit_rate, peak_live_bytes) = {
+        let mut store = ParamStore::new();
+        let model = Chgnet::new(scale.model(OptLevel::Decoupled), &mut store, 3);
+        let mut opt = Adam::new(&store, 1e-3);
+        let w = LossWeights::default();
+        let graphs: Vec<_> = samples.iter().map(|s| &s.graph).collect();
+        let labels: Vec<_> = samples.iter().map(|s| &s.labels).collect();
+        let batch = GraphBatch::collate(&graphs, Some(&labels));
+        let bl = batch.labels.as_ref().unwrap();
+        let tape = Tape::new();
+        let mut before = tape.profiler().snapshot();
+        let (mut d_hits, mut d_miss, mut steps, mut peak) = (0u64, 0u64, 0u64, 0u64);
+        let mut peak_naive = 0u64;
+        for i in 0..4 {
+            tape.profiler().reset_peak();
+            let pred = model.forward(&tape, &store, &batch);
+            let loss = composite_loss(&tape, &pred, bl, &w);
+            store.zero_grads();
+            let gm = tape.backward_final(loss.total);
+            store.accumulate_grads(&tape, &gm);
+            opt.step(&mut store);
+            store.zero_grads();
+            tape.reset();
+            let snap = tape.profiler().snapshot();
+            if i >= 2 {
+                d_hits += snap.pool_hits - before.pool_hits;
+                d_miss += snap.pool_misses - before.pool_misses;
+                steps += 1;
+                peak = peak.max(snap.bytes_peak);
+                peak_naive = peak_naive.max(snap.bytes_peak_naive);
+            }
+            before = snap;
+        }
+        println!(
+            "  {} buffer acquisitions/step (each a heap alloc without the pool); \
+             full-tape residency would peak at {:.1} MiB",
+            d_hits / steps.max(1),
+            peak_naive as f64 / (1024.0 * 1024.0)
+        );
+        let total = d_hits + d_miss;
+        let rate = if total > 0 { d_hits as f64 / total as f64 } else { 1.0 };
+        (d_miss as f64 / steps.max(1) as f64, rate, peak as f64)
+    };
+    println!(
+        "steady state: {allocs_per_step:.1} allocs/step, pool hit rate {:.1}%, \
+         peak live {:.1} MiB",
+        pool_hit_rate * 100.0,
+        peak_live_bytes / (1024.0 * 1024.0)
+    );
+
     // Stage 2: multi-GPU scaling on top (efficiency-weighted 32 GPUs
     // relative to 1, through the 4-GPU anchor like the paper).
     // Rescale the CPU-measured throughput to the A100 device class the
@@ -202,7 +258,10 @@ fn main() {
         .set_timing("speedup_systems", sys_speedup)
         .set_timing("speedup_decoupling", head_speedup)
         .set_timing("speedup_scaling32", scale32)
-        .set_timing("speedup_total", total);
+        .set_timing("speedup_total", total)
+        .set_timing("allocs_per_step", allocs_per_step)
+        .set_timing("pool_hit_rate", pool_hit_rate)
+        .set_timing("peak_live_bytes", peak_live_bytes);
     let jpath = emit_bench_report(&report);
     println!("telemetry report written to {}", jpath.display());
 }

@@ -188,11 +188,12 @@ pub fn net_force(tape: &Tape, forces: Var, batch: &GraphBatch) -> Var {
 
 /// Mean absolute value of a tensor (host-side helper for tests/metrics).
 pub fn mean_abs(tape: &Tape, v: Var) -> f64 {
-    let t = tape.value(v);
-    if t.is_empty() {
-        return 0.0;
-    }
-    t.data().iter().map(|&x| x.abs() as f64).sum::<f64>() / t.len() as f64
+    tape.with_value(v, |t| {
+        if t.is_empty() {
+            return 0.0;
+        }
+        t.data().iter().map(|&x| x.abs() as f64).sum::<f64>() / t.len() as f64
+    })
 }
 
 #[cfg(test)]

@@ -104,18 +104,21 @@ impl GraphBatch {
         let n_bonds: usize = graphs.iter().map(|g| g.n_bonds()).sum();
         let n_angles: usize = graphs.iter().map(|g| g.n_angles()).sum();
 
+        // f32 buffers that become Tensor storage come from the thread's
+        // buffer pool so a recycled batch feeds the next collation; index
+        // arrays stay on the ordinary heap (they end up in `Arc<[u32]>`).
         let mut atom_z = Vec::with_capacity(n_atoms);
         let mut atom_graph = Vec::with_capacity(n_atoms);
-        let mut positions = Vec::with_capacity(n_atoms * 3);
+        let mut positions = fc_tensor::pool::with_capacity(n_atoms * 3);
         let mut bond_i = Vec::with_capacity(n_bonds);
         let mut bond_j = Vec::with_capacity(n_bonds);
         let mut bond_graph = Vec::with_capacity(n_bonds);
-        let mut bond_image = Vec::with_capacity(n_bonds * 3);
-        let mut bond_r = Vec::with_capacity(n_bonds);
+        let mut bond_image = fc_tensor::pool::with_capacity(n_bonds * 3);
+        let mut bond_r = fc_tensor::pool::with_capacity(n_bonds);
         let mut angle_b1 = Vec::with_capacity(n_angles);
         let mut angle_b2 = Vec::with_capacity(n_angles);
         let mut angle_center = Vec::with_capacity(n_angles);
-        let mut lattices = Vec::with_capacity(n_graphs * 9);
+        let mut lattices = fc_tensor::pool::with_capacity(n_graphs * 9);
         let mut lattice_graph = Vec::with_capacity(n_graphs * 3);
         let mut volumes = Vec::with_capacity(n_graphs);
         let mut ranges = Vec::with_capacity(n_graphs);
@@ -154,11 +157,11 @@ impl GraphBatch {
         }
 
         let batch_labels = labels.map(|ls| {
-            let mut energy = Vec::with_capacity(n_graphs);
-            let mut counts = Vec::with_capacity(n_graphs);
-            let mut forces = Vec::with_capacity(n_atoms * 3);
-            let mut stress = Vec::with_capacity(n_graphs * 9);
-            let mut magmoms = Vec::with_capacity(n_atoms);
+            let mut energy = fc_tensor::pool::with_capacity(n_graphs);
+            let mut counts = fc_tensor::pool::with_capacity(n_graphs);
+            let mut forces = fc_tensor::pool::with_capacity(n_atoms * 3);
+            let mut stress = fc_tensor::pool::with_capacity(n_graphs * 9);
+            let mut magmoms = fc_tensor::pool::with_capacity(n_atoms);
             for (g, l) in graphs.iter().zip(ls) {
                 energy.push(l.energy as f32);
                 counts.push(g.n_atoms() as f32);
@@ -207,6 +210,25 @@ impl GraphBatch {
     /// "feature number".
     pub fn feature_number(&self) -> usize {
         self.n_atoms + self.n_bonds + self.n_angles
+    }
+
+    /// Return the batch's f32 tensor storage to the calling thread's
+    /// buffer pool so the next [`GraphBatch::collate`] on this thread
+    /// reuses it instead of allocating. Index arrays (`Arc<[u32]>`) and
+    /// the `u8`/`f64` host vectors are not pooled.
+    pub fn recycle(self) {
+        use fc_tensor::pool;
+        pool::release(self.positions.into_vec());
+        pool::release(self.bond_image.into_vec());
+        pool::release(self.bond_r.into_vec());
+        pool::release(self.lattices.into_vec());
+        if let Some(l) = self.labels {
+            pool::release(l.energy.into_vec());
+            pool::release(l.n_atoms.into_vec());
+            pool::release(l.forces.into_vec());
+            pool::release(l.stress.into_vec());
+            pool::release(l.magmoms.into_vec());
+        }
     }
 }
 
@@ -275,6 +297,31 @@ mod tests {
             let b1 = b.angle_b1[ai] as usize;
             assert_eq!(b.bond_i[b1], b.angle_center[ai]);
         }
+    }
+
+    #[test]
+    fn recycled_buffers_feed_the_next_collate() {
+        // Fresh thread => fresh thread-local pool, so the hit counts
+        // below are not polluted by other tests.
+        std::thread::spawn(|| {
+            let g1 = graph(4.0, 3);
+            let g2 = graph(4.4, 25);
+            let l1 = evaluate(&g1.structure);
+            let l2 = evaluate(&g2.structure);
+            let b1 = GraphBatch::collate(&[&g1, &g2], Some(&[&l1, &l2]));
+            let reference = b1.positions.data().to_vec();
+            let before = fc_tensor::pool::stats();
+            b1.recycle();
+            let b2 = GraphBatch::collate(&[&g1, &g2], Some(&[&l1, &l2]));
+            let after = fc_tensor::pool::stats();
+            // All nine f32 buffers (4 batch + 5 label) come back pooled.
+            assert_eq!(after.hits - before.hits, 9, "expected every buffer to be reused");
+            assert_eq!(after.misses, before.misses);
+            // Reuse must not change the collated contents.
+            assert_eq!(b2.positions.data(), reference.as_slice());
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

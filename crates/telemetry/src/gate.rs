@@ -49,11 +49,14 @@ pub struct BaselineEntry {
 }
 
 /// Should this timing key gate? Derived ratios (`speedup_*`,
-/// `*_speedup*` such as the headline's `wall_speedup_4rank`) and fit
-/// parameters (`fit_*`) are not durations and are excluded — a ratio
-/// *growing* is usually an improvement, which must never trip the gate.
+/// `*_speedup*` such as the headline's `wall_speedup_4rank`), fit
+/// parameters (`fit_*`), and the memory planner's `pool_hit_rate` are
+/// not durations and are excluded — a ratio *growing* is usually an
+/// improvement, which must never trip the gate. (`allocs_per_step` and
+/// `peak_live_bytes` stay gated: for those, growth *is* a regression,
+/// and the ×tolerance semantics carry over.)
 pub fn is_gated_key(key: &str) -> bool {
-    !key.contains("speedup") && !key.starts_with("fit_")
+    !key.contains("speedup") && !key.starts_with("fit_") && key != "pool_hit_rate"
 }
 
 /// Pull every `timing` event out of one bench report's JSONL stream.
@@ -299,8 +302,11 @@ mod tests {
         assert!(!is_gated_key("speedup_total"));
         assert!(!is_gated_key("wall_speedup_4rank"));
         assert!(!is_gated_key("fit_t_fixed"));
+        assert!(!is_gated_key("pool_hit_rate"), "a rising hit rate is an improvement");
         assert!(is_gated_key("iter_fused"));
         assert!(is_gated_key("wall_serial_4rank"));
+        assert!(is_gated_key("peak_live_bytes"), "peak growth is a regression");
+        assert!(is_gated_key("allocs_per_step"));
         let base = vec![entry("headline", "speedup_total", 1.0)];
         let cur = vec![entry("headline", "speedup_total", 10.0)];
         let report = compare(&base, &cur, DEFAULT_TOLERANCE);

@@ -62,8 +62,99 @@ impl Tape {
             if !rg {
                 continue;
             }
-            self.vjp(Var(i as u32), &op, g, &mut grads);
+            self.vjp(Var(i as u32), &op, g, &mut |t, e| self.accum(&mut grads, t, e));
         }
+        GradMap { grads }
+    }
+
+    /// Reverse-mode sweep from `output`, seeded with ones, honouring the
+    /// tape's [`crate::tape::MemoryPlan`]: forward activations are released
+    /// as soon as their last gradient consumer has executed, intermediate
+    /// gradient buffers are merged in place and released, and every freed
+    /// buffer returns to the thread-local pool for the next step.
+    ///
+    /// Unlike [`Tape::backward`], this is a *final* sweep: afterwards only
+    /// the output's value and the gradients of leaf nodes (inputs,
+    /// constants and params) are guaranteed readable. Read any metric you
+    /// need from the forward graph *before* calling this, and `reset()` or
+    /// `truncate()` the tape before building further graph on it. Use
+    /// `backward` when the gradient graph must stay live (create_graph /
+    /// double backward); with `MemoryPlan::naive()` this method emits the
+    /// exact node sequence `backward` does and frees nothing.
+    pub fn backward_final(&self, output: Var) -> GradMap {
+        let shape = self.shape(output);
+        self.backward_seeded_final(output, Tensor::ones(shape.rows, shape.cols))
+    }
+
+    /// [`Tape::backward_final`] with an explicit seed cotangent.
+    pub fn backward_seeded_final(&self, output: Var, seed: Tensor) -> GradMap {
+        assert_eq!(self.shape(output), seed.shape(), "seed shape mismatch");
+        let plan = self.plan();
+        let out_id = output.id() as usize;
+        let n = out_id + 1;
+        let mut grads: Vec<Option<Var>> = vec![None; n];
+        if !self.requires_grad(output) {
+            return GradMap { grads };
+        }
+        // owned[i] == the buffer behind grads[i] is referenced by that slot
+        // alone, so the planner may mutate or free it.
+        let mut owned = vec![false; n];
+        grads[out_id] = Some(self.constant(seed));
+        owned[out_id] = true;
+        let mut touched: Vec<u32> = Vec::new();
+
+        for i in (0..n).rev() {
+            if let Some(g) = grads[i] {
+                let (op, rg) = {
+                    let nodes = self.nodes.borrow();
+                    (nodes[i].op.clone(), nodes[i].rg)
+                };
+                if rg {
+                    // Nodes at or past `mark` are created by this VJP; every
+                    // contribution below it is `g` itself (identity VJPs
+                    // forward their cotangent unchanged).
+                    let mark = self.len();
+                    touched.clear();
+                    self.vjp(Var(i as u32), &op, g, &mut |t, e| {
+                        touched.push(t);
+                        self.accum_planned(&mut grads, &mut owned, t, e, g, i as u32, mark, plan)
+                    });
+                    // vjp(i) was g's last read; interior gradients are not
+                    // part of the caller-facing result.
+                    let interior = !matches!(op, Op::Leaf | Op::DiffLeaf | Op::Param(_));
+                    if plan.free_activations && owned[i] && interior {
+                        self.release_node_buffer(g);
+                        owned[i] = false;
+                    }
+                    // Everything this VJP pushed is dead now unless it ended
+                    // up in a gradient slot: intermediates only feed other
+                    // nodes of the same VJP, and later sweep iterations read
+                    // only pre-`mark` ids and slot values.
+                    if plan.free_activations {
+                        let end = self.len();
+                        let kept: Vec<u32> = touched
+                            .iter()
+                            .filter_map(|&t| grads[t as usize])
+                            .map(|v| v.id())
+                            .filter(|&id| id as usize >= mark)
+                            .collect();
+                        for id in mark..end {
+                            if !kept.contains(&(id as u32)) {
+                                self.release_node_buffer(Var(id as u32));
+                            }
+                        }
+                    }
+                }
+            }
+            // Liveness: every consumer of node i has a larger id and has
+            // already run its VJP, and vjp(i) itself only reads ids <= i —
+            // the forward activation of i is dead from here on. The output
+            // stays pinned for the caller.
+            if plan.free_activations && i != out_id {
+                self.release_node_buffer(Var(i as u32));
+            }
+        }
+        self.sync_pool_stats();
         GradMap { grads }
     }
 
@@ -106,6 +197,90 @@ impl Tape {
         });
     }
 
+    /// Accumulate `extra` into `grads[target]` under the memory plan.
+    ///
+    /// `g` is the cotangent of the node whose VJP is running (`cur`) and
+    /// `mark` is the tape length captured just before that VJP: a
+    /// contribution with id below `mark` is not a fresh node, and by
+    /// construction of every VJP rule it is then exactly `g` itself
+    /// (identity VJPs — `AddScalar`, full broadcasts, same-shape
+    /// `broadcast_to` — forward their cotangent unchanged). Such aliased
+    /// buffers are marked unowned on *both* slots so neither frees memory
+    /// the other still references.
+    #[allow(clippy::too_many_arguments)]
+    fn accum_planned(
+        &self,
+        grads: &mut [Option<Var>],
+        owned: &mut [bool],
+        target: u32,
+        extra: Var,
+        g: Var,
+        cur: u32,
+        mark: usize,
+        plan: crate::tape::MemoryPlan,
+    ) {
+        if !self.requires_grad(Var(target)) {
+            return;
+        }
+        let fresh = (extra.id() as usize) >= mark;
+        let t = target as usize;
+        match grads[t] {
+            None => {
+                debug_assert!(fresh || extra == g, "non-fresh VJP contribution is not g");
+                grads[t] = Some(extra);
+                owned[t] = fresh;
+                if !fresh {
+                    owned[cur as usize] = false;
+                }
+            }
+            Some(existing) => {
+                if plan.inplace_accum && owned[t] {
+                    // `existing` is uniquely referenced (owned) and its
+                    // intermediate value is never read again before the
+                    // next contribution, so accumulating in place is safe.
+                    self.accum_inplace(existing, extra);
+                    if fresh && plan.free_activations {
+                        self.release_node_buffer(extra);
+                    }
+                } else {
+                    let merged = self.add(existing, extra);
+                    if plan.free_activations {
+                        if owned[t] {
+                            self.release_node_buffer(existing);
+                        }
+                        if fresh {
+                            self.release_node_buffer(extra);
+                        }
+                    }
+                    grads[t] = Some(merged);
+                    owned[t] = true;
+                }
+            }
+        }
+    }
+
+    /// `existing += extra` without allocating: axpy straight into the
+    /// existing gradient buffer. Bitwise identical to the `add` kernel
+    /// (`1.0 * b == b` in IEEE 754, same element order) and charged the
+    /// same FLOP/byte cost so profiles stay comparable across plans.
+    fn accum_inplace(&self, existing: Var, extra: Var) {
+        let len;
+        {
+            let mut nodes = self.nodes.borrow_mut();
+            let (ei, xi) = (existing.id() as usize, extra.id() as usize);
+            let mut buf = std::mem::replace(&mut nodes[ei].value, Tensor::placeholder());
+            buf.axpy(1.0, &nodes[xi].value);
+            len = buf.len() as u64;
+            nodes[ei].value = buf;
+        }
+        self.profiler().record_kernel(false);
+        self.profiler().record_cost(crate::cost::OpCost {
+            kind: "accum.axpy",
+            flops: len,
+            bytes: 12 * len,
+        });
+    }
+
     /// Reduce a gradient with the output shape down to an operand that was
     /// broadcast with pattern `bc`.
     fn reduce_bcast(&self, g: Var, bc: Bcast) -> Var {
@@ -119,8 +294,8 @@ impl Tape {
     }
 
     /// Emit the VJP of one node: distribute cotangent `g` of node `out`
-    /// into its inputs.
-    fn vjp(&self, out: Var, op: &Op, g: Var, grads: &mut [Option<Var>]) {
+    /// into its inputs via `sink(input_id, contribution)`.
+    fn vjp(&self, out: Var, op: &Op, g: Var, sink: &mut dyn FnMut(u32, Var)) {
         use crate::kernels::reduce::Axis;
         match op {
             Op::Leaf | Op::DiffLeaf | Op::Param(_) => {}
@@ -205,7 +380,7 @@ impl Tape {
                     }
                 };
                 if let Some(c) = contrib {
-                    self.accum(grads, a, c);
+                    sink(a, c);
                 }
             }
 
@@ -215,36 +390,36 @@ impl Tape {
                 match kind {
                     BinKind::Add => {
                         let ga = self.reduce_bcast(g, ba);
-                        self.accum(grads, a, ga);
+                        sink(a, ga);
                         let gb = self.reduce_bcast(g, bb);
-                        self.accum(grads, b, gb);
+                        sink(b, gb);
                     }
                     BinKind::Sub => {
                         let ga = self.reduce_bcast(g, ba);
-                        self.accum(grads, a, ga);
+                        sink(a, ga);
                         let gb = self.reduce_bcast(self.neg(g), bb);
-                        self.accum(grads, b, gb);
+                        sink(b, gb);
                     }
                     BinKind::Mul => {
                         if self.requires_grad(av) {
                             let ga = self.reduce_bcast(self.mul(g, bv), ba);
-                            self.accum(grads, a, ga);
+                            sink(a, ga);
                         }
                         if self.requires_grad(bv) {
                             let gb = self.reduce_bcast(self.mul(g, av), bb);
-                            self.accum(grads, b, gb);
+                            sink(b, gb);
                         }
                     }
                     BinKind::Div => {
                         if self.requires_grad(av) {
                             let ga = self.reduce_bcast(self.div(g, bv), ba);
-                            self.accum(grads, a, ga);
+                            sink(a, ga);
                         }
                         if self.requires_grad(bv) {
                             // d(a/b)/db = -a/b² = -out/b.
                             let t = self.div(out, bv);
                             let gb = self.reduce_bcast(self.neg(self.mul(g, t)), bb);
-                            self.accum(grads, b, gb);
+                            sink(b, gb);
                         }
                     }
                 }
@@ -255,42 +430,42 @@ impl Tape {
                 if self.requires_grad(Var(a)) {
                     let bt = self.transpose(Var(b));
                     let ga = self.matmul(g, bt);
-                    self.accum(grads, a, ga);
+                    sink(a, ga);
                 }
                 if self.requires_grad(Var(b)) {
                     let at = self.transpose(Var(a));
                     let gb = self.matmul(at, g);
-                    self.accum(grads, b, gb);
+                    sink(b, gb);
                 }
             }
 
             Op::Transpose { a } => {
                 let ga = self.transpose(g);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::Sum { a, .. } => {
                 let shape = self.shape(Var(*a));
                 let ga = self.broadcast_to(g, shape);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::BroadcastTo { a, shape } => {
                 let src = self.shape(Var(*a));
                 let bc = Bcast::resolve(src, *shape).expect("broadcast_to VJP");
                 let ga = self.reduce_bcast(g, bc);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::Gather { a, idx } => {
                 let rows = self.shape(Var(*a)).rows;
                 let ga = self.segment_sum(g, idx.clone(), rows);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::SegSum { a, seg, .. } => {
                 let ga = self.gather(g, seg.clone());
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::ConcatCols { parts } => {
@@ -299,7 +474,7 @@ impl Tape {
                     let c = self.shape(Var(p)).cols;
                     if self.requires_grad(Var(p)) {
                         let gp = self.slice_cols(g, off, c);
-                        self.accum(grads, p, gp);
+                        sink(p, gp);
                     }
                     off += c;
                 }
@@ -311,7 +486,7 @@ impl Tape {
                     let r = self.shape(Var(p)).rows;
                     if self.requires_grad(Var(p)) {
                         let gp = self.slice_rows(g, off, r);
-                        self.accum(grads, p, gp);
+                        sink(p, gp);
                     }
                     off += r;
                 }
@@ -321,39 +496,39 @@ impl Tape {
                 let total = self.shape(Var(*a)).cols;
                 let _ = len;
                 let ga = self.pad_cols(g, *start, total);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::SliceRows { a, start, len } => {
                 let total = self.shape(Var(*a)).rows;
                 let _ = len;
                 let ga = self.pad_rows(g, *start, total);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::PadCols { a, start, .. } => {
                 let len = self.shape(Var(*a)).cols;
                 let ga = self.slice_cols(g, *start, len);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::PadRows { a, start, .. } => {
                 let len = self.shape(Var(*a)).rows;
                 let ga = self.slice_rows(g, *start, len);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::Reshape { a, .. } => {
                 let s = self.shape(Var(*a));
                 let ga = self.reshape(g, s.rows, s.cols);
-                self.accum(grads, *a, ga);
+                sink(*a, ga);
             }
 
             Op::BlockDiagMm { a, b, seg, trans_b } => {
                 let (a, b) = (*a, *b);
                 if self.requires_grad(Var(a)) {
                     let ga = self.block_diag_matmul(g, Var(b), seg.clone(), !trans_b);
-                    self.accum(grads, a, ga);
+                    sink(a, ga);
                 }
                 if self.requires_grad(Var(b)) {
                     // Per-block outer-product accumulation, expressed with
@@ -375,7 +550,7 @@ impl Tape {
                             None => part,
                         });
                     }
-                    self.accum(grads, b, gb.expect("3 block columns"));
+                    sink(b, gb.expect("3 block columns"));
                 }
             }
 
@@ -383,14 +558,14 @@ impl Tape {
                 let deriv = self.fused_srbf(Var(*r), *cfg, order + 1);
                 let prod = self.mul(g, deriv);
                 let gr = self.sum(prod, Axis::Cols);
-                self.accum(grads, *r, gr);
+                sink(*r, gr);
             }
 
             Op::FusedFourier { theta, harmonics, order } => {
                 let deriv = self.fused_fourier(Var(*theta), *harmonics, order + 1);
                 let prod = self.mul(g, deriv);
                 let gt = self.sum(prod, Axis::Cols);
-                self.accum(grads, *theta, gt);
+                sink(*theta, gt);
             }
 
             Op::FusedLayerNorm { a, gamma, beta, eps } => {
@@ -406,11 +581,11 @@ impl Tape {
                 let xhat = self.mul(centered, inv_std);
                 if self.requires_grad(Var(gamma)) {
                     let gg = self.sum(self.mul(g, xhat), Axis::Rows);
-                    self.accum(grads, gamma, gg);
+                    sink(gamma, gg);
                 }
                 if self.requires_grad(Var(beta)) {
                     let gb = self.sum(g, Axis::Rows);
-                    self.accum(grads, beta, gb);
+                    sink(beta, gb);
                 }
                 if self.requires_grad(av) {
                     // dL/dx = inv_std ⊙ (gx − mean(gx) − xhat ⊙ mean(gx ⊙ xhat))
@@ -420,7 +595,7 @@ impl Tape {
                     let mean_gxx = self.scale(self.sum(self.mul(gx, xhat), Axis::Cols), 1.0 / m);
                     let inner = self.sub(self.sub(gx, mean_gx), self.mul(xhat, mean_gxx));
                     let ga = self.mul(inner, inv_std);
-                    self.accum(grads, a, ga);
+                    sink(a, ga);
                 }
             }
 
@@ -432,7 +607,7 @@ impl Tape {
                     let dsig = self.sub(sa, self.square(sa));
                     let silu_b = self.silu(bv);
                     let ga = self.mul(self.mul(g, silu_b), dsig);
-                    self.accum(grads, a, ga);
+                    sink(a, ga);
                 }
                 if self.requires_grad(bv) {
                     let sa = self.sigmoid(av);
@@ -441,7 +616,7 @@ impl Tape {
                     let bss = self.mul(bs, sb);
                     let dsilu = self.add(sb, self.sub(bs, bss));
                     let gb = self.mul(self.mul(g, sa), dsilu);
-                    self.accum(grads, b, gb);
+                    sink(b, gb);
                 }
             }
         }
@@ -454,8 +629,7 @@ impl ParamStore {
     pub fn accumulate_grads(&mut self, tape: &Tape, gm: &GradMap) {
         for (pid, var) in tape.injected_params() {
             if let Some(gv) = gm.get(var) {
-                let g = tape.value(gv);
-                self.entry_mut(pid).grad.axpy(1.0, &g);
+                tape.with_value(gv, |g| self.entry_mut(pid).grad.axpy(1.0, g));
             }
         }
     }
@@ -580,6 +754,80 @@ mod tests {
         let y = tape.square(c);
         let gm = tape.backward(y);
         assert!(gm.get(c).is_none());
+    }
+
+    // A force-style graph: an inner *retained* backward derives forces
+    // from the energy, then the outer loss consumes them — the same
+    // second-order pattern `rank_work` runs for the derivative-based
+    // OptLevels, with aliasing Adds and out-reading VJPs on the path.
+    fn force_style_loss(tape: &Tape) -> (crate::op::Var, crate::op::Var) {
+        let cfg = SrbfCfg::new(4, 6.0, 8);
+        let r = tape.input(Tensor::col_vec(&[1.2, 2.8, 4.5]));
+        let e = tape.sum_all(tape.fused_srbf(r, cfg, 0));
+        let gm = tape.backward(e);
+        let f = gm.get(r).unwrap();
+        let loss = tape.add(tape.sum_all(tape.square(f)), e);
+        (loss, r)
+    }
+
+    #[test]
+    fn planned_final_backward_is_bitwise_identical() {
+        use crate::tape::MemoryPlan;
+        let grads_of = |plan: MemoryPlan, final_sweep: bool| -> Vec<u32> {
+            let tape = Tape::with_plan(plan);
+            let (loss, r) = force_style_loss(&tape);
+            let gm = if final_sweep { tape.backward_final(loss) } else { tape.backward(loss) };
+            tape.value(gm.get(r).unwrap()).data().iter().map(|x| x.to_bits()).collect()
+        };
+        let retained = grads_of(MemoryPlan::naive(), false);
+        let naive_final = grads_of(MemoryPlan::naive(), true);
+        let planned = grads_of(MemoryPlan::default(), true);
+        assert_eq!(retained, naive_final, "plan-off final sweep diverges from backward");
+        assert_eq!(retained, planned, "planned sweep diverges from backward");
+    }
+
+    #[test]
+    fn steady_state_steps_hit_the_pool_for_every_buffer() {
+        // Run in a fresh thread so this test owns its thread-local pool.
+        std::thread::spawn(|| {
+            let tape = Tape::new();
+            let mut misses = Vec::new();
+            for _ in 0..4 {
+                let before = crate::pool::stats().misses;
+                let (loss, r) = force_style_loss(&tape);
+                let gm = tape.backward_final(loss);
+                let _ = tape.value(gm.get(r).unwrap());
+                tape.reset();
+                misses.push(crate::pool::stats().misses - before);
+            }
+            assert!(misses[0] > 0, "warmup step should populate the pool");
+            assert_eq!(misses[2], 0, "steady-state step still allocates: {misses:?}");
+            assert_eq!(misses[3], 0, "steady-state step still allocates: {misses:?}");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn planned_peak_is_well_below_full_tape_residency() {
+        // Deep elementwise chain: backward emits ~5 nodes per SiLU, so
+        // full-tape residency is several times the forward footprint.
+        let tape = Tape::new();
+        let x = tape.input(Tensor::ones(64, 64));
+        let mut y = x;
+        for _ in 0..20 {
+            y = tape.silu(y);
+        }
+        let loss = tape.sum_all(tape.square(y));
+        let gm = tape.backward_final(loss);
+        assert!(gm.get(x).is_some());
+        let s = tape.profiler().snapshot();
+        assert!(
+            s.bytes_peak * 10 <= s.bytes_peak_naive * 7,
+            "planned peak {} not ≤ 70% of naive peak {}",
+            s.bytes_peak,
+            s.bytes_peak_naive
+        );
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl BinKind {
 
 /// Unary elementwise kernel: `out[i] = kind(a[i])`.
 pub fn unary(kind: UnKind, a: &Tensor) -> Tensor {
-    let mut out = vec![0.0f32; a.len()];
+    let mut out = crate::pool::zeroed(a.len());
     let src = a.data();
     if a.len() >= PAR_THRESHOLD {
         out.par_iter_mut().zip(src.par_iter()).for_each(|(o, &x)| *o = kind.apply(x));
@@ -172,7 +172,7 @@ pub fn binary(
     let cols = out_shape.cols;
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; out_shape.len()];
+    let mut out = crate::pool::zeroed(out_shape.len());
 
     // Fast path: both operands dense with the output shape.
     if ba == Bcast::Full && bb == Bcast::Full {

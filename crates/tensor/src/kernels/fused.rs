@@ -131,7 +131,7 @@ fn fused_srbf_fast<const ORDER: usize>(r: &Tensor, cfg: SrbfCfg) -> Tensor {
     let nb = cfg.n_basis;
     let norm = (2.0 / cfg.r_cut).sqrt();
     let w1 = std::f32::consts::PI / cfg.r_cut;
-    let mut out = vec![0.0f32; n * nb];
+    let mut out = crate::pool::zeroed(n * nb);
     for (i, &ri) in r.data().iter().enumerate() {
         let ri = ri.max(1e-6);
         let u = envelope_derivs(ri, cfg);
@@ -166,7 +166,7 @@ fn fused_srbf_generic(r: &Tensor, cfg: SrbfCfg, order: u8) -> Tensor {
     let nb = cfg.n_basis;
     let norm = (2.0 / cfg.r_cut).sqrt();
     let order = order as usize;
-    let mut out = vec![0.0f32; n * nb];
+    let mut out = crate::pool::zeroed(n * nb);
     let mut sder = [0.0f32; MAX_BASIS_ORDER as usize + 1];
     for (i, &ri) in r.data().iter().enumerate() {
         let ri = ri.max(1e-6);
@@ -209,7 +209,7 @@ pub fn fused_fourier(theta: &Tensor, harmonics: usize, order: u8) -> Tensor {
     let cnorm = 1.0 / std::f32::consts::PI.sqrt();
     let dc = 1.0 / (2.0 * std::f32::consts::PI).sqrt();
     let shift = order as f32 * HALF_PI;
-    let mut out = vec![0.0f32; n * nb];
+    let mut out = crate::pool::zeroed(n * nb);
     for (i, &th) in theta.data().iter().enumerate() {
         let row = &mut out[i * nb..(i + 1) * nb];
         row[0] = if order == 0 { dc } else { 0.0 };
@@ -230,7 +230,7 @@ pub fn fused_fourier(theta: &Tensor, harmonics: usize, order: u8) -> Tensor {
 /// element pair.
 pub fn fused_gate(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "fused_gate shape mismatch");
-    let mut out = vec![0.0f32; a.len()];
+    let mut out = crate::pool::zeroed(a.len());
     for ((o, &x), &y) in out.iter_mut().zip(a.data()).zip(b.data()) {
         let sx = super::elementwise::sigmoid(x);
         let sy = super::elementwise::sigmoid(y);
@@ -246,7 +246,7 @@ pub fn fused_layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> 
     let m = x.cols();
     assert_eq!(gamma.shape(), crate::shape::Shape::new(1, m), "gamma shape");
     assert_eq!(beta.shape(), crate::shape::Shape::new(1, m), "beta shape");
-    let mut out = vec![0.0f32; x.len()];
+    let mut out = crate::pool::zeroed(x.len());
     let g = gamma.data();
     let b = beta.data();
     for (row_out, row_in) in out.chunks_mut(m).zip(x.data().chunks(m)) {

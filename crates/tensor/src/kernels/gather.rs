@@ -12,7 +12,7 @@ use crate::tensor::Tensor;
 /// Panics when an index is out of range.
 pub fn gather_rows(a: &Tensor, idx: &[u32]) -> Tensor {
     let m = a.cols();
-    let mut out = vec![0.0f32; idx.len() * m];
+    let mut out = crate::pool::zeroed(idx.len() * m);
     let d = a.data();
     for (r, &i) in idx.iter().enumerate() {
         let i = i as usize;
@@ -28,7 +28,7 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat_cols of zero tensors");
     let rows = parts[0].rows();
     let total: usize = parts.iter().map(|t| t.cols()).sum();
-    let mut out = vec![0.0f32; rows * total];
+    let mut out = crate::pool::zeroed(rows * total);
     let mut off = 0;
     for t in parts {
         assert_eq!(t.rows(), rows, "concat_cols row mismatch");
@@ -47,7 +47,7 @@ pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat_rows of zero tensors");
     let cols = parts[0].cols();
     let total: usize = parts.iter().map(|t| t.rows()).sum();
-    let mut out = Vec::with_capacity(total * cols);
+    let mut out = crate::pool::with_capacity(total * cols);
     for t in parts {
         assert_eq!(t.cols(), cols, "concat_rows col mismatch");
         out.extend_from_slice(t.data());
@@ -59,7 +59,7 @@ pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
 pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
     assert!(start + len <= a.cols(), "slice_cols out of range");
     let rows = a.rows();
-    let mut out = vec![0.0f32; rows * len];
+    let mut out = crate::pool::zeroed(rows * len);
     for r in 0..rows {
         out[r * len..(r + 1) * len].copy_from_slice(&a.row(r)[start..start + len]);
     }
@@ -70,7 +70,7 @@ pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
 pub fn slice_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
     assert!(start + len <= a.rows(), "slice_rows out of range");
     let cols = a.cols();
-    let out = a.data()[start * cols..(start + len) * cols].to_vec();
+    let out = crate::pool::from_slice(&a.data()[start * cols..(start + len) * cols]);
     Tensor::from_vec(Shape::new(len, cols), out)
 }
 
@@ -79,7 +79,7 @@ pub fn slice_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
 pub fn scatter_add_rows(grad: &Tensor, idx: &[u32], rows: usize) -> Tensor {
     assert_eq!(grad.rows(), idx.len(), "scatter rows/idx mismatch");
     let m = grad.cols();
-    let mut out = vec![0.0f32; rows * m];
+    let mut out = crate::pool::zeroed(rows * m);
     for (r, &i) in idx.iter().enumerate() {
         let i = i as usize;
         assert!(i < rows, "scatter index {i} out of range ({rows} rows)");

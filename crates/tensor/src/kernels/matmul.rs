@@ -17,7 +17,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", a.shape(), b.shape());
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::pool::zeroed(m * n);
     let ad = a.data();
     let bd = b.data();
 
@@ -63,7 +63,7 @@ pub fn block_diag_matmul(a: &Tensor, b: &Tensor, seg: &[u32]) -> Tensor {
     let n_blocks = b.rows() / 3;
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; a.rows() * 3];
+    let mut out = crate::pool::zeroed(a.rows() * 3);
 
     let row_kernel = |r: usize, out_row: &mut [f32]| {
         let g = seg[r] as usize;
@@ -103,7 +103,7 @@ pub fn block_diag_matmul_tb(a: &Tensor, b: &Tensor, seg: &[u32]) -> Tensor {
     let n_blocks = b.rows() / 3;
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; a.rows() * 3];
+    let mut out = crate::pool::zeroed(a.rows() * 3);
 
     let row_kernel = |r: usize, out_row: &mut [f32]| {
         let g = seg[r] as usize;

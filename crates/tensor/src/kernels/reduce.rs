@@ -31,7 +31,7 @@ pub fn sum(a: &Tensor, axis: Axis) -> Tensor {
     let d = a.data();
     match axis {
         Axis::Rows => {
-            let mut out = vec![0.0f32; m];
+            let mut out = crate::pool::zeroed(m);
             for r in 0..n {
                 let row = &d[r * m..(r + 1) * m];
                 for (o, &x) in out.iter_mut().zip(row) {
@@ -41,7 +41,7 @@ pub fn sum(a: &Tensor, axis: Axis) -> Tensor {
             Tensor::from_vec(Shape::new(1, m), out)
         }
         Axis::Cols => {
-            let mut out = vec![0.0f32; n];
+            let mut out = crate::pool::zeroed(n);
             for (r, o) in out.iter_mut().enumerate() {
                 // f64 accumulator: column sums feed LayerNorm statistics.
                 *o = d[r * m..(r + 1) * m].iter().map(|&x| x as f64).sum::<f64>() as f32;

@@ -17,7 +17,7 @@ use crate::tensor::Tensor;
 pub fn segment_sum(a: &Tensor, seg: &[u32], nseg: usize) -> Tensor {
     assert_eq!(seg.len(), a.rows(), "segment array length mismatch");
     let m = a.cols();
-    let mut out = vec![0.0f32; nseg * m];
+    let mut out = crate::pool::zeroed(nseg * m);
     let d = a.data();
     for (r, &s) in seg.iter().enumerate() {
         let s = s as usize;
@@ -34,7 +34,7 @@ pub fn segment_sum(a: &Tensor, seg: &[u32], nseg: usize) -> Tensor {
 /// Per-segment row counts as an `(nseg, 1)` tensor. Useful for segment
 /// means (e.g. per-atom energy normalisation).
 pub fn segment_counts(seg: &[u32], nseg: usize) -> Tensor {
-    let mut out = vec![0.0f32; nseg];
+    let mut out = crate::pool::zeroed(nseg);
     for &s in seg {
         out[s as usize] += 1.0;
     }

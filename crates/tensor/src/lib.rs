@@ -39,6 +39,7 @@ pub mod init;
 pub mod kernels;
 pub mod op;
 pub mod param;
+pub mod pool;
 pub mod profiler;
 pub mod shape;
 pub mod tape;
@@ -51,7 +52,8 @@ pub use kernels::fused::SrbfCfg;
 pub use kernels::reduce::Axis;
 pub use op::Var;
 pub use param::{ParamEntry, ParamId, ParamStore};
+pub use pool::{PoolCore, PoolStats};
 pub use profiler::{OpTotals, ProfileSnapshot, Profiler};
 pub use shape::{Bcast, Shape};
-pub use tape::Tape;
+pub use tape::{MemoryPlan, Tape};
 pub use tensor::Tensor;

@@ -1,0 +1,224 @@
+//! Thread-local buffer pool with power-of-two size classes.
+//!
+//! The tape heap-allocates one `Vec<f32>` per node per iteration; since
+//! tape shapes repeat across training steps, steady-state training can
+//! recycle iteration N's buffers for iteration N+1 instead of hitting the
+//! allocator thousands of times per step. Kernels *acquire* through this
+//! pool unconditionally ([`zeroed`] / [`from_slice`] / [`with_capacity`]);
+//! buffers are *released* back only by planner-gated call sites
+//! (`Tape::truncate`, the planner-aware backward sweep, batch recycling),
+//! so with the planner off the pool stays empty and every acquire is a
+//! plain allocation — bit-for-bit the old behaviour.
+//!
+//! Contents never affect numerics: [`zeroed`] returns an all-zero buffer
+//! exactly like `vec![0.0; n]`, and [`from_slice`] an exact copy.
+//!
+//! Each OS thread owns one [`PoolCore`] (the simulated device's caching
+//! allocator). Threaded cluster ranks run on short-lived scoped worker
+//! threads, so the cluster persists each rank's core across steps with
+//! [`take_core`] / [`install_core`].
+
+use std::cell::RefCell;
+
+/// Retention cap per thread: releases beyond this many pooled bytes are
+/// dropped to the allocator instead of being cached.
+const MAX_POOLED_BYTES: u64 = 256 << 20;
+
+/// Size classes cover capacities `2^0 ..= 2^(N_CLASSES-1)` elements.
+const N_CLASSES: usize = 33;
+
+/// Monotone hit/miss/recycle counters plus the pooled-bytes level of one
+/// thread's pool. Snapshots are compared by the tape to attribute pool
+/// activity to its profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from a free list.
+    pub hits: u64,
+    /// Acquires that fell through to the allocator.
+    pub misses: u64,
+    /// Bytes handed out on hits (requested length, not class capacity).
+    pub bytes_recycled: u64,
+    /// Bytes currently cached in free lists (level, by class capacity).
+    pub bytes_pooled: u64,
+}
+
+/// One thread's pool state: per-class free lists plus counters. `Send`, so
+/// the cluster can hand a rank's pool to whichever worker thread runs that
+/// rank this step.
+pub struct PoolCore {
+    classes: Vec<Vec<Vec<f32>>>,
+    stats: PoolStats,
+}
+
+impl Default for PoolCore {
+    fn default() -> Self {
+        PoolCore {
+            classes: (0..N_CLASSES).map(|_| Vec::new()).collect(),
+            stats: PoolStats::default(),
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<PoolCore> = RefCell::new(PoolCore::default());
+}
+
+/// Class index serving requests of `n` elements: ceil log2.
+#[inline]
+fn class_of(n: usize) -> usize {
+    n.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Class index a buffer of capacity `cap >= 1` files under: floor log2.
+/// (Acquires always reserve a power-of-two capacity, so floor(capacity)
+/// never lands a buffer in a class it cannot serve.)
+#[inline]
+fn class_of_capacity(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+/// Acquire a cleared buffer (len 0) with capacity at least `n`.
+fn acquire_raw(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let class = class_of(n);
+    POOL.with(|p| {
+        let mut core = p.borrow_mut();
+        if let Some(mut v) = core.classes[class].pop() {
+            core.stats.hits += 1;
+            core.stats.bytes_recycled += 4 * n as u64;
+            core.stats.bytes_pooled = core.stats.bytes_pooled.saturating_sub(4u64 << class);
+            v.clear();
+            v
+        } else {
+            core.stats.misses += 1;
+            Vec::with_capacity(1 << class)
+        }
+    })
+}
+
+/// A zero-filled buffer of length `n` — contents identical to
+/// `vec![0.0; n]`.
+pub fn zeroed(n: usize) -> Vec<f32> {
+    let mut v = acquire_raw(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// An exact copy of `s` in a pool-acquired buffer.
+pub fn from_slice(s: &[f32]) -> Vec<f32> {
+    let mut v = acquire_raw(s.len());
+    v.extend_from_slice(s);
+    v
+}
+
+/// An empty buffer with capacity at least `n`, for callers that build the
+/// contents with `extend`/`push`.
+pub fn with_capacity(n: usize) -> Vec<f32> {
+    acquire_raw(n)
+}
+
+/// Return a buffer to this thread's pool (or drop it past the retention
+/// cap). Callers gate this on their `MemoryPlan`; un-released buffers are
+/// simply garbage-collected by Rust as before.
+pub fn release(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    let class = class_of_capacity(cap);
+    if class >= N_CLASSES {
+        return;
+    }
+    POOL.with(|p| {
+        let mut core = p.borrow_mut();
+        let bytes = 4u64 << class;
+        if core.stats.bytes_pooled + bytes > MAX_POOLED_BYTES {
+            return; // drop to the allocator
+        }
+        core.stats.bytes_pooled += bytes;
+        core.classes[class].push(v);
+    });
+}
+
+/// Current thread's pool counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Take this thread's pool core, leaving a fresh empty one. Used by the
+/// cluster to persist a rank's pool beyond its scoped worker thread.
+pub fn take_core() -> PoolCore {
+    POOL.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// Install `core` as this thread's pool (dropping the previous one).
+pub fn install_core(core: PoolCore) {
+    POOL.with(|p| *p.borrow_mut() = core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_recycles_the_buffer() {
+        // Run on a dedicated thread: pool state is thread-local and tests
+        // share threads under the default harness.
+        std::thread::spawn(|| {
+            let base = stats();
+            let v = zeroed(100);
+            assert_eq!(v.len(), 100);
+            assert!(v.iter().all(|&x| x == 0.0));
+            assert_eq!(stats().misses - base.misses, 1);
+            let ptr = v.as_ptr();
+            release(v);
+            assert!(stats().bytes_pooled > 0);
+            let w = zeroed(100);
+            assert_eq!(stats().hits - base.hits, 1);
+            assert_eq!(w.as_ptr(), ptr, "same buffer comes back");
+            assert!(w.iter().all(|&x| x == 0.0), "recycled buffer is re-zeroed");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn classes_serve_any_len_up_to_capacity() {
+        std::thread::spawn(|| {
+            let v = zeroed(100); // class 7 (128)
+            release(v);
+            let base = stats();
+            let w = from_slice(&[1.0; 70]); // 70 -> class 7 too
+            assert_eq!(stats().hits - base.hits, 1);
+            assert_eq!(w.len(), 70);
+            assert!(w.iter().all(|&x| x == 1.0));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_len_and_core_handoff() {
+        std::thread::spawn(|| {
+            let v = zeroed(0);
+            assert!(v.is_empty());
+            release(v); // no-op, capacity 0
+            let x = zeroed(33);
+            release(x);
+            let core = take_core();
+            assert_eq!(stats(), PoolStats::default(), "fresh core after take");
+            let miss = zeroed(33); // fresh core: miss
+            assert_eq!(stats().misses, 1);
+            drop(miss);
+            install_core(core);
+            let base = stats();
+            let hit = zeroed(33);
+            assert_eq!(stats().hits - base.hits, 1, "restored core serves the hit");
+            drop(hit);
+        })
+        .join()
+        .unwrap();
+    }
+}

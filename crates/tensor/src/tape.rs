@@ -13,10 +13,11 @@ use crate::kernels::reduce::{self, Axis};
 use crate::kernels::segment as sk;
 use crate::op::{Op, Var, VarId};
 use crate::param::{ParamId, ParamStore};
+use crate::pool::{self, PoolStats};
 use crate::profiler::Profiler;
 use crate::shape::{broadcast_shape, Bcast, Shape};
 use crate::tensor::Tensor;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 pub(crate) struct Node {
@@ -26,19 +27,110 @@ pub(crate) struct Node {
     pub rg: bool,
 }
 
+/// Memory-planner configuration for one tape. Defaults to fully ON; every
+/// toggle is bitwise-neutral (verified by `fc_verify`'s planner
+/// equivalence check at tolerance 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Return node buffers to the thread's [`crate::pool`] on
+    /// truncate/reset and on planner frees, so the next iteration's
+    /// acquires hit the free lists instead of the allocator.
+    pub pooled: bool,
+    /// During `backward_final`, release each forward activation (and each
+    /// consumed intermediate gradient buffer) as soon as its last reverse-
+    /// sweep use has executed.
+    pub free_activations: bool,
+    /// Accumulate repeated gradient contributions in place (`axpy` into
+    /// the uniquely-owned slot buffer) instead of alloc-then-add.
+    pub inplace_accum: bool,
+}
+
+impl Default for MemoryPlan {
+    fn default() -> Self {
+        MemoryPlan { pooled: true, free_activations: true, inplace_accum: true }
+    }
+}
+
+impl MemoryPlan {
+    /// Planner fully off: the tape behaves exactly as before the planner
+    /// existed (fresh allocation per node, full-tape residency through
+    /// backward, alloc-then-add accumulation).
+    pub fn naive() -> Self {
+        MemoryPlan { pooled: false, free_activations: false, inplace_accum: false }
+    }
+}
+
 /// The autodiff tape.
-#[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
     profiler: Profiler,
     /// Cache of param-id -> injected Var for the current iteration.
     param_cache: RefCell<Vec<Option<Var>>>,
+    plan: MemoryPlan,
+    /// Thread-pool counters at the last sync, so pool activity between
+    /// syncs is attributed to this tape's profiler (and to no other tape
+    /// sharing the thread).
+    pool_base: Cell<PoolStats>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::with_plan(MemoryPlan::default())
+    }
 }
 
 impl Tape {
-    /// Fresh empty tape.
+    /// Fresh empty tape with the default (fully ON) memory plan.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh empty tape with an explicit memory plan.
+    pub fn with_plan(plan: MemoryPlan) -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+            profiler: Profiler::default(),
+            param_cache: RefCell::new(Vec::new()),
+            plan,
+            pool_base: Cell::new(pool::stats()),
+        }
+    }
+
+    /// This tape's memory plan.
+    pub fn plan(&self) -> MemoryPlan {
+        self.plan
+    }
+
+    /// Fold pool activity since the last sync into the profiler. Must run
+    /// on the thread that owns the tape (the pool is thread-local).
+    pub(crate) fn sync_pool_stats(&self) {
+        let now = pool::stats();
+        let base = self.pool_base.get();
+        self.profiler.record_pool(
+            now.hits.saturating_sub(base.hits),
+            now.misses.saturating_sub(base.misses),
+            now.bytes_recycled.saturating_sub(base.bytes_recycled),
+            now.bytes_pooled,
+        );
+        self.pool_base.set(now);
+    }
+
+    /// Release one node's value buffer early (memory-planner path): the
+    /// profiler's real live ledger drops now, the naive ledger settles at
+    /// the structural free in [`Tape::truncate`]. No-op on nodes already
+    /// released. The node's shape stays readable.
+    pub(crate) fn release_node_buffer(&self, v: Var) {
+        let data = {
+            let mut nodes = self.nodes.borrow_mut();
+            nodes[v.0 as usize].value.release_data()
+        };
+        if data.capacity() == 0 {
+            return;
+        }
+        self.profiler.free_planned(data.len() as u64 * 4);
+        if self.plan.pooled {
+            pool::release(data);
+        }
     }
 
     /// Number of nodes currently on the tape.
@@ -77,13 +169,24 @@ impl Tape {
     }
 
     /// Drop all nodes after `len` (releasing their buffers from the memory
-    /// accounting). Used to discard an ephemeral backward sub-graph.
+    /// accounting, and — with a pooled plan — back into the thread's
+    /// buffer pool). Used to discard an ephemeral backward sub-graph.
     pub fn truncate(&self, len: usize) {
         let mut nodes = self.nodes.borrow_mut();
         while nodes.len() > len {
-            let n = nodes.pop().expect("truncate underflow");
-            self.profiler.free(n.value.len() as u64 * 4);
+            let mut n = nodes.pop().expect("truncate underflow");
+            let data = n.value.release_data();
+            // Real ledger: only what is still held. Naive ledger: the full
+            // node size — an unplanned tape would free it here whether or
+            // not the planner already released it early.
+            self.profiler.free_planned(data.len() as u64 * 4);
+            self.profiler.free_naive(n.value.shape().len() as u64 * 4);
+            if self.plan.pooled && data.capacity() > 0 {
+                pool::release(data);
+            }
         }
+        drop(nodes);
+        self.sync_pool_stats();
     }
 
     /// Clear the tape completely (end of iteration). Keeps kernel counters;
@@ -106,6 +209,8 @@ impl Tape {
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len() as VarId;
         nodes.push(Node { op, value, rg });
+        drop(nodes);
+        self.sync_pool_stats();
         Var(id)
     }
 
@@ -140,7 +245,11 @@ impl Tape {
                 return *v;
             }
         }
-        let v = self.push(Op::Param(id), store.value(id).clone(), true);
+        let value = {
+            let t = store.value(id);
+            Tensor::from_vec(t.shape(), pool::from_slice(t.data()))
+        };
+        let v = self.push(Op::Param(id), value, true);
         let mut cache = self.param_cache.borrow_mut();
         if cache.len() <= id.index() {
             cache.resize(id.index() + 1, None);
@@ -334,13 +443,13 @@ impl Tape {
         let bc =
             Bcast::resolve(sa, shape).unwrap_or_else(|| panic!("cannot broadcast {sa} to {shape}"));
         let value = self.with_value(a, |t| {
-            let mut out = Tensor::zeros(shape.rows, shape.cols);
+            let mut out = pool::zeroed(shape.len());
             for r in 0..shape.rows {
                 for c in 0..shape.cols {
-                    *out.at_mut(r, c) = t.data()[bc.index(r, c, shape.cols)];
+                    out[r * shape.cols + c] = t.data()[bc.index(r, c, shape.cols)];
                 }
             }
-            out
+            Tensor::from_vec(shape, out)
         });
         self.push(Op::BroadcastTo { a: a.0, shape }, value, self.rg_of(a))
     }
@@ -397,11 +506,11 @@ impl Tape {
     pub fn pad_cols(&self, a: Var, start: usize, total: usize) -> Var {
         let value = self.with_value(a, |t| {
             assert!(start + t.cols() <= total, "pad_cols out of range");
-            let mut out = Tensor::zeros(t.rows(), total);
+            let mut out = pool::zeroed(t.rows() * total);
             for r in 0..t.rows() {
-                out.row_mut(r)[start..start + t.cols()].copy_from_slice(t.row(r));
+                out[r * total + start..r * total + start + t.cols()].copy_from_slice(t.row(r));
             }
-            out
+            Tensor::from_vec(Shape::new(t.rows(), total), out)
         });
         self.push(Op::PadCols { a: a.0, start, total }, value, self.rg_of(a))
     }
@@ -410,11 +519,12 @@ impl Tape {
     pub fn pad_rows(&self, a: Var, start: usize, total: usize) -> Var {
         let value = self.with_value(a, |t| {
             assert!(start + t.rows() <= total, "pad_rows out of range");
-            let mut out = Tensor::zeros(total, t.cols());
+            let c = t.cols();
+            let mut out = pool::zeroed(total * c);
             for r in 0..t.rows() {
-                out.row_mut(start + r).copy_from_slice(t.row(r));
+                out[(start + r) * c..(start + r + 1) * c].copy_from_slice(t.row(r));
             }
-            out
+            Tensor::from_vec(Shape::new(total, c), out)
         });
         self.push(Op::PadRows { a: a.0, start, total }, value, self.rg_of(a))
     }
@@ -428,7 +538,7 @@ impl Tape {
         if sa == shape {
             return a;
         }
-        let value = self.with_value(a, |t| Tensor::from_vec(shape, t.data().to_vec()));
+        let value = self.with_value(a, |t| Tensor::from_vec(shape, pool::from_slice(t.data())));
         self.push(Op::Reshape { a: a.0, shape }, value, self.rg_of(a))
     }
 

@@ -126,6 +126,20 @@ impl Tensor {
         self.data
     }
 
+    /// Take the data buffer out, leaving the tensor empty but keeping its
+    /// shape. Used by the memory planner to release a tape node's storage
+    /// early while `Tape::shape` (and truncate's naive-byte accounting,
+    /// which goes by shape) keep working. Idempotent: a second call
+    /// returns an empty `Vec`.
+    pub(crate) fn release_data(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// A zero-element placeholder used to swap a buffer out temporarily.
+    pub(crate) fn placeholder() -> Tensor {
+        Tensor { shape: Shape::new(0, 0), data: Vec::new() }
+    }
+
     /// Element accessor.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
@@ -202,16 +216,16 @@ impl Tensor {
                 .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
     }
 
-    /// Transposed copy.
+    /// Transposed copy (output buffer comes from the thread's pool).
     pub fn transposed(&self) -> Tensor {
         let (r, c) = (self.rows(), self.cols());
-        let mut out = Tensor::zeros(c, r);
+        let mut out = crate::pool::zeroed(r * c);
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                out[j * r + i] = self.data[i * c + j];
             }
         }
-        out
+        Tensor::from_vec(Shape::new(c, r), out)
     }
 
     /// In-place scaled accumulation `self += alpha * other`.

@@ -27,7 +27,7 @@ use crate::optim::{clip_grad_norm, Adam};
 use crate::sampler::{device_loads, load_cov, partition, SamplerKind};
 use fc_core::{Chgnet, ModelConfig};
 use fc_crystal::{GraphBatch, Sample};
-use fc_tensor::{ParamStore, ProfileSnapshot, Profiler, Tape};
+use fc_tensor::{pool, MemoryPlan, ParamStore, PoolCore, ProfileSnapshot, Profiler, Tape};
 use std::time::Instant;
 
 /// How rank work is executed on the host.
@@ -65,6 +65,10 @@ pub struct ClusterConfig {
     pub grad_clip: Option<f64>,
     /// Host execution strategy for rank work.
     pub execution: ExecutionMode,
+    /// Memory plan applied to every rank tape (pooled buffers, liveness
+    /// freeing, in-place gradient accumulation). Defaults to fully on;
+    /// [`MemoryPlan::naive`] reproduces the unplanned allocator bitwise.
+    pub memory_plan: MemoryPlan,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +79,7 @@ impl Default for ClusterConfig {
             comm: CommModel::a100_fat_tree(),
             grad_clip: Some(10.0),
             execution: ExecutionMode::Serial,
+            memory_plan: MemoryPlan::default(),
         }
     }
 }
@@ -119,6 +124,11 @@ pub struct Cluster {
     /// Per-rank parameter replicas, materialised lazily by the threaded
     /// path; values are re-broadcast from `store` every step.
     replicas: Vec<ParamStore>,
+    /// Per-rank buffer-pool cores for the threaded path: worker threads are
+    /// re-spawned every step, so each rank's recycled buffers are carried
+    /// across steps here and installed into whichever thread runs the rank.
+    /// Serial ranks share the coordinator's thread-local pool instead.
+    rank_pools: Vec<Option<PoolCore>>,
     /// Cluster-wide profiler: per-rank tape profilers are absorbed here
     /// after every step, from both the serial and the threaded path.
     profiler: Profiler,
@@ -144,24 +154,29 @@ fn rank_work(
     loss_weights: &LossWeights,
     batch: &GraphBatch,
     inv_dev: f32,
+    plan: MemoryPlan,
 ) -> RankOutput {
     let bl = batch.labels.as_ref().expect("collated batch must carry labels");
-    let tape = Tape::new();
+    let tape = Tape::with_plan(plan);
     let loss: LossParts = {
         let _fwd = fc_telemetry::bridge::profiled_span("forward", tape.profiler());
         let pred = model.forward(&tape, store, batch);
         composite_loss(&tape, &pred, bl, loss_weights)
     };
-    let loss_val = tape.value(loss.total).item() as f64;
+    // Read every scalar the caller needs *before* the final backward: the
+    // planner frees forward activations during the sweep.
+    let loss_val = tape.with_value(loss.total, |t| t.item()) as f64;
     let mut components = [0.0f64; 4];
     for (k, part) in [loss.energy, loss.force, loss.stress, loss.magmom].into_iter().enumerate() {
-        components[k] = tape.value(part).item() as f64;
+        components[k] = tape.with_value(part, |t| t.item()) as f64;
     }
-    // Backward (second-order when the model derives forces).
+    // Backward (second-order when the model derives forces). The final
+    // sweep honours the memory plan: activations and intermediate grad
+    // buffers return to this thread's pool for the next step's forward.
     {
         let _bwd = fc_telemetry::bridge::profiled_span("backward", tape.profiler());
         store.zero_grads();
-        let gm = tape.backward(loss.total);
+        let gm = tape.backward_final(loss.total);
         store.accumulate_grads(&tape, &gm);
     }
     tape.reset();
@@ -211,6 +226,7 @@ impl Cluster {
             sim_time_total: 0.0,
             wall_time_total: 0.0,
             replicas: Vec::new(),
+            rank_pools: Vec::new(),
             profiler: Profiler::new(),
         }
     }
@@ -266,26 +282,37 @@ impl Cluster {
     pub fn train_collated_step(&mut self, batch: &GraphBatch) -> f64 {
         assert!(batch.labels.is_some(), "prefetched batch must carry labels");
         let wall_start = Instant::now();
+        let plan = self.cfg.memory_plan;
         let out = match self.cfg.execution {
             ExecutionMode::Serial => {
-                rank_work(&self.model, &mut self.store, &self.loss_weights, batch, 1.0)
+                rank_work(&self.model, &mut self.store, &self.loss_weights, batch, 1.0, plan)
             }
             ExecutionMode::Threaded(_) => {
                 self.sync_replicas(1);
+                if self.rank_pools.is_empty() {
+                    self.rank_pools.push(None);
+                }
+                let pool_in = self.rank_pools[0].take();
                 let model = &self.model;
                 let lw = &self.loss_weights;
                 let rep = &mut self.replicas[0];
-                std::thread::scope(|s| {
+                let (out, pool_out) = std::thread::scope(|s| {
                     std::thread::Builder::new()
                         .name(worker_name(0))
                         .spawn_scoped(s, move || {
                             let _lane = fc_telemetry::trace::lane_scope(0);
-                            rank_work(model, rep, lw, batch, 1.0)
+                            if let Some(core) = pool_in {
+                                pool::install_core(core);
+                            }
+                            let out = rank_work(model, rep, lw, batch, 1.0, plan);
+                            (out, pool::take_core())
                         })
                         .expect("spawn rank worker")
                         .join()
                         .expect("rank worker panicked")
-                })
+                });
+                self.rank_pools[0] = Some(pool_out);
+                out
             }
         };
         self.profiler.absorb(out.tape.profiler());
@@ -420,7 +447,14 @@ impl Cluster {
             let _rank_span = fc_telemetry::span("rank_step");
             let start = Instant::now();
             let batch = collate_shard(global_batch, idxs);
-            let out = rank_work(&self.model, &mut self.store, &self.loss_weights, &batch, inv_dev);
+            let out = rank_work(
+                &self.model,
+                &mut self.store,
+                &self.loss_weights,
+                &batch,
+                inv_dev,
+                self.cfg.memory_plan,
+            );
             set.device_compute.push(start.elapsed().as_secs_f64());
             set.loss_sum += out.loss;
             for k in 0..4 {
@@ -446,19 +480,26 @@ impl Cluster {
     ) -> RankSet {
         let n_dev = self.cfg.n_devices;
         let n_scalars = self.store.n_scalars();
+        let plan = self.cfg.memory_plan;
         self.sync_replicas(n_dev);
+        if self.rank_pools.len() < n_dev {
+            self.rank_pools.resize_with(n_dev, || None);
+        }
+        let pools: Vec<Option<PoolCore>> = self.rank_pools.iter_mut().map(Option::take).collect();
 
-        // Strided rank→thread assignment over exclusive replica borrows.
-        let mut work: Vec<Vec<(usize, &mut ParamStore)>> =
+        // Strided rank→thread assignment over exclusive replica borrows;
+        // each rank carries its own pool core from step to step.
+        let mut work: Vec<Vec<(usize, &mut ParamStore, Option<PoolCore>)>> =
             (0..workers).map(|_| Vec::new()).collect();
-        for (d, rep) in self.replicas.iter_mut().enumerate() {
-            work[d % workers].push((d, rep));
+        for ((d, rep), pool) in self.replicas.iter_mut().enumerate().zip(pools) {
+            work[d % workers].push((d, rep, pool));
         }
         let model = &self.model;
         let lw = &self.loss_weights;
-        // One rank's result: `None` for an empty shard, else the rank output
-        // plus its measured compute seconds.
-        type RankSlot = (usize, Option<(RankOutput, f64)>);
+        // One rank's result: the rank's pool core (to carry back to the
+        // coordinator) plus, for non-empty shards, the rank output and its
+        // measured compute seconds.
+        type RankSlot = (usize, Option<PoolCore>, Option<(RankOutput, f64)>);
         let per_thread: Vec<Vec<RankSlot>> = std::thread::scope(|s| {
             let handles: Vec<_> = work
                 .into_iter()
@@ -468,7 +509,7 @@ impl Cluster {
                         .name(worker_name(t_idx))
                         .spawn_scoped(s, move || {
                             let mut outs = Vec::with_capacity(assigned.len());
-                            for (d, store) in assigned {
+                            for (d, store, pool) in assigned {
                                 // Rank lanes now genuinely interleave in
                                 // time; attribution is by lane id, not by
                                 // wall-clock disjointness.
@@ -478,14 +519,22 @@ impl Cluster {
                                     loads[d],
                                 );
                                 if parts[d].is_empty() {
-                                    outs.push((d, None));
+                                    outs.push((d, pool, None));
                                     continue;
                                 }
                                 let _rank_span = fc_telemetry::span("rank_step");
                                 let start = Instant::now();
+                                if let Some(core) = pool {
+                                    pool::install_core(core);
+                                }
                                 let batch = collate_shard(global_batch, &parts[d]);
-                                let out = rank_work(model, store, lw, &batch, inv_dev);
-                                outs.push((d, Some((out, start.elapsed().as_secs_f64()))));
+                                let out = rank_work(model, store, lw, &batch, inv_dev, plan);
+                                let core = pool::take_core();
+                                outs.push((
+                                    d,
+                                    Some(core),
+                                    Some((out, start.elapsed().as_secs_f64())),
+                                ));
                             }
                             outs
                         })
@@ -504,7 +553,8 @@ impl Cluster {
             comp_sum: [0.0; 4],
             active: 0,
         };
-        for (d, out) in per_thread.into_iter().flatten() {
+        for (d, pool, out) in per_thread.into_iter().flatten() {
+            self.rank_pools[d] = pool;
             let Some((out, secs)) = out else { continue };
             set.active += 1;
             set.loss_sum += out.loss;
@@ -731,6 +781,8 @@ mod tests {
             while let Some(batch) = pf.next_batch() {
                 acc += cluster.train_collated_step(&batch);
                 n += 1;
+                // Hand spent collation buffers back to the prefetch thread.
+                pf.recycle(batch);
             }
             epoch_means.push(acc / n.max(1) as f64);
         }
@@ -738,6 +790,38 @@ mod tests {
             epoch_means.last().unwrap() < epoch_means.first().unwrap(),
             "epoch losses {epoch_means:?}"
         );
+    }
+
+    #[test]
+    fn steady_state_cluster_steps_allocate_nothing_new() {
+        // Allocation-regression guard: after a 2-step warm-up the buffer
+        // pool must serve every tape/grad buffer of a repeated collated
+        // step — zero pool misses means zero fresh heap allocations for
+        // tensor storage. Runs on a fresh thread so the thread-local pool
+        // starts cold and other tests cannot pre-warm it.
+        std::thread::spawn(|| {
+            let data = dataset();
+            let graphs: Vec<_> = data.samples.iter().map(|s| &s.graph).collect();
+            let labels: Vec<_> = data.samples.iter().map(|s| &s.labels).collect();
+            let batch = GraphBatch::collate(&graphs, Some(&labels));
+            let mut cluster = Cluster::new(
+                ModelConfig::tiny(OptLevel::Decoupled),
+                3,
+                ClusterConfig::default(),
+                1e-3,
+            );
+            let mut misses = Vec::new();
+            for _ in 0..4 {
+                let before = pool::stats().misses;
+                cluster.train_collated_step(&batch);
+                misses.push(pool::stats().misses - before);
+            }
+            assert!(misses[0] > 0, "cold start must fall through to the allocator");
+            assert_eq!(misses[2], 0, "steady-state step still allocating: {misses:?}");
+            assert_eq!(misses[3], 0, "steady-state step still allocating: {misses:?}");
+        })
+        .join()
+        .unwrap();
     }
 
     /// Serialises the tests below: they toggle the process-global telemetry

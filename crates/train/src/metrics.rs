@@ -86,36 +86,42 @@ pub fn evaluate_with_scatter(
         let tape = Tape::new();
         let pred = model.forward(&tape, store, &batch);
 
-        let e = tape.value(pred.energy_per_atom);
-        for g in 0..batch.n_graphs {
-            let truth = (bl.energy.at(g, 0) / bl.n_atoms.at(g, 0)) as f64;
-            let p = e.at(g, 0) as f64;
-            abs_e += (truth - p).abs();
-            n_e += 1;
-            scatter.energy.push((truth, p));
-        }
-        let f = tape.value(pred.forces);
-        for r in 0..batch.n_atoms {
-            for c in 0..3 {
-                let truth = bl.forces.at(r, c) as f64;
-                let p = f.at(r, c) as f64;
-                abs_f += (truth - p).abs();
-                n_f += 1;
-                scatter.force.push((truth, p));
+        // Read-only accesses: borrow node values in place instead of
+        // cloning each prediction tensor out of the tape.
+        tape.with_value(pred.energy_per_atom, |e| {
+            for g in 0..batch.n_graphs {
+                let truth = (bl.energy.at(g, 0) / bl.n_atoms.at(g, 0)) as f64;
+                let p = e.at(g, 0) as f64;
+                abs_e += (truth - p).abs();
+                n_e += 1;
+                scatter.energy.push((truth, p));
             }
-        }
-        let s = tape.value(pred.stress);
-        for r in 0..batch.n_graphs * 3 {
-            for c in 0..3 {
-                abs_s += (bl.stress.at(r, c) as f64 - s.at(r, c) as f64).abs();
-                n_s += 1;
+        });
+        tape.with_value(pred.forces, |f| {
+            for r in 0..batch.n_atoms {
+                for c in 0..3 {
+                    let truth = bl.forces.at(r, c) as f64;
+                    let p = f.at(r, c) as f64;
+                    abs_f += (truth - p).abs();
+                    n_f += 1;
+                    scatter.force.push((truth, p));
+                }
             }
-        }
-        let m = tape.value(pred.magmom);
-        for r in 0..batch.n_atoms {
-            abs_m += (bl.magmoms.at(r, 0) as f64 - m.at(r, 0) as f64).abs();
-            n_m += 1;
-        }
+        });
+        tape.with_value(pred.stress, |s| {
+            for r in 0..batch.n_graphs * 3 {
+                for c in 0..3 {
+                    abs_s += (bl.stress.at(r, c) as f64 - s.at(r, c) as f64).abs();
+                    n_s += 1;
+                }
+            }
+        });
+        tape.with_value(pred.magmom, |m| {
+            for r in 0..batch.n_atoms {
+                abs_m += (bl.magmoms.at(r, 0) as f64 - m.at(r, 0) as f64).abs();
+                n_m += 1;
+            }
+        });
         tape.reset();
     }
 

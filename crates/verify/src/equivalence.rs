@@ -23,7 +23,7 @@ use fc_core::{compute_basis, Chgnet, ModelConfig, OptLevel};
 use fc_crystal::{
     CrystalGraph, DatasetConfig, Element, GraphBatch, Lattice, Sample, Structure, SynthMPtrj,
 };
-use fc_tensor::{ParamStore, Tape, Tensor};
+use fc_tensor::{MemoryPlan, ParamStore, Tape, Tensor};
 use fc_train::{ring_all_reduce, tree_all_reduce_chunked, Cluster, ClusterConfig, ExecutionMode};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -339,6 +339,51 @@ pub fn check_threaded_vs_serial_bitwise(n_devices: usize) -> CheckResult {
     }
 }
 
+/// The tape memory planner (pooled buffers, liveness-based activation
+/// freeing, in-place gradient accumulation) vs the naive
+/// allocate-everything path: two same-seed clusters stepped twice on the
+/// same batch must end with bit-identical parameters. The second step
+/// matters — it runs against a warm buffer pool, so recycled (cleared)
+/// buffers feed every kernel. `max_err` counts mismatching scalars; the
+/// tolerance is zero.
+pub fn check_memory_plan_bitwise(level: OptLevel) -> CheckResult {
+    let data = cluster_dataset(53);
+    let samples: Vec<&Sample> = data.samples.iter().collect();
+    let steps_with = |plan: MemoryPlan| {
+        let mut c = Cluster::new(
+            ModelConfig::tiny(level),
+            17,
+            ClusterConfig { memory_plan: plan, ..Default::default() },
+            CLUSTER_LR as f32,
+        );
+        c.train_step(&samples);
+        c.train_step(&samples);
+        c
+    };
+    let planned = steps_with(MemoryPlan::default());
+    let naive = steps_with(MemoryPlan::naive());
+
+    let mut mismatches = 0u64;
+    let mut detail = String::from("bit-identical planned vs naive");
+    for (id, ep) in planned.store.iter() {
+        let en = naive.store.entry(id);
+        for (k, (x, y)) in ep.value.data().iter().zip(en.value.data()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                if mismatches == 0 {
+                    detail = format!("first mismatch: param '{}' element {k}", ep.name);
+                }
+                mismatches += 1;
+            }
+        }
+    }
+    CheckResult {
+        name: format!("memory_plan_bitwise_{level:?}"),
+        max_err: mismatches as f64,
+        tol: 0.0,
+        detail,
+    }
+}
+
 /// Bitwise determinism of the chunked tree all-reduce across worker
 /// counts: the per-element reduction order is fixed by the gap-doubling
 /// tree, so 1, 2 and `n` chunk workers must agree bit-for-bit, and all
@@ -440,5 +485,10 @@ pub fn run_suite(seed: u64) -> Vec<CheckResult> {
     out.push(check_threaded_vs_serial_bitwise(4));
     out.push(check_allreduce_determinism(4, 257));
     out.push(check_tree_allreduce_determinism(4, 257));
+    for level in
+        [OptLevel::Reference, OptLevel::ParallelBasis, OptLevel::Fusion, OptLevel::Decoupled]
+    {
+        out.push(check_memory_plan_bitwise(level));
+    }
     out
 }

@@ -4,7 +4,7 @@
 use fc_verify::equivalence::{
     check_allreduce_determinism, check_batched_vs_serial_model, check_cluster_determinism,
     check_cluster_one_vs_n, check_fused_basis_values, check_fused_gate, check_fused_layer_norm,
-    check_fusion_vs_parallel_model, run_suite,
+    check_fusion_vs_parallel_model, check_memory_plan_bitwise, run_suite,
 };
 
 #[test]
@@ -41,6 +41,16 @@ fn cluster_step_is_bitwise_deterministic() {
 fn allreduce_is_bitwise_deterministic() {
     check_allreduce_determinism(4, 257).assert_ok();
     check_allreduce_determinism(3, 64).assert_ok();
+}
+
+#[test]
+fn memory_planner_is_bitwise_identical_to_naive_path() {
+    use fc_core::OptLevel;
+    for level in
+        [OptLevel::Reference, OptLevel::ParallelBasis, OptLevel::Fusion, OptLevel::Decoupled]
+    {
+        check_memory_plan_bitwise(level).assert_ok();
+    }
 }
 
 #[test]

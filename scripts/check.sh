@@ -18,6 +18,12 @@ cargo test --workspace -q
 echo "== threaded-cluster equivalence smoke (1 vs N worker threads, release) =="
 cargo test --release -q -p fastchgnet-train threaded_step_matches_serial_bitwise
 
+echo "== memory-planner equivalence smoke (planned vs naive bitwise, release) =="
+cargo test --release -q -p fc_verify --test equivalence memory_planner_is_bitwise_identical_to_naive_path
+
+echo "== memory-planner steady-state allocation smoke (release) =="
+cargo test --release -q -p fastchgnet-train steady_state_cluster_steps_allocate_nothing_new
+
 echo "== verify harness =="
 cargo run --release -p fc_verify --bin verify -q
 
